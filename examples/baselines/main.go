@@ -1,0 +1,96 @@
+// Baselines tour: every congestion controller in the library shares a
+// single 100 Gb/s bottleneck in turn (two flows each), printing steady
+// throughput, fairness, and the standing queue it keeps. A quick way to
+// see how the delay-based, ECN-based, gradient-based, and uncontrolled
+// families differ before layering PrioPlus on top.
+//
+// Run: go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/core"
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+func main() {
+	type entry struct {
+		name  string
+		algo  func(net *harness.Net, src int) cc.Algorithm
+		paced bool
+		ecnK  int
+	}
+	mk := func(f func(base sim.Time, bdp float64) cc.Algorithm) func(*harness.Net, int) cc.Algorithm {
+		return func(net *harness.Net, src int) cc.Algorithm {
+			base := net.Topo.BaseRTT(src, 2)
+			return f(base, net.BDPPackets(src, 2))
+		}
+	}
+	entries := []entry{
+		{"swift", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewSwift(cc.DefaultSwiftConfig(b, bdp))
+		}), false, 0},
+		{"prioplus+swift", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			plan := core.DefaultPlan(b)
+			return core.New(cc.NewSwift(cc.DefaultSwiftConfig(b, bdp)), core.DefaultConfig(plan.Channel(1), 8))
+		}), false, 0},
+		{"ledbat", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewLEDBAT(cc.DefaultLEDBATConfig(b, bdp))
+		}), false, 0},
+		{"dctcp", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewDCTCP(cc.DefaultDCTCPConfig(bdp))
+		}), false, 100_000},
+		{"dcqcn", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewDCQCN(cc.DefaultDCQCNConfig(100 * netsim.Gbps))
+		}), true, 100_000},
+		{"timely", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewTIMELY(cc.DefaultTIMELYConfig(b, 100e9))
+		}), true, 0},
+		{"hpcc", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewHPCC(cc.DefaultHPCCConfig(bdp))
+		}), false, 0},
+		{"nocc", mk(func(b sim.Time, bdp float64) cc.Algorithm {
+			return cc.NewNoCC()
+		}), false, 0},
+	}
+
+	fmt.Printf("%-16s %10s %10s %12s\n", "cc", "Gb/s", "fairness", "queue (us)")
+	for _, e := range entries {
+		eng := sim.NewEngine()
+		cfg := topo.DefaultConfig()
+		cfg.LinkDelay = 3 * sim.Microsecond
+		if e.ecnK > 0 {
+			cfg.Buffer.ECNKMin = e.ecnK
+			cfg.Buffer.ECNKMax = e.ecnK
+		}
+		nw := topo.Star(eng, 3, cfg)
+		net := harness.New(nw, 7)
+		if e.name == "hpcc" {
+			net.EnableINT()
+		}
+		for src := 0; src < 2; src++ {
+			net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: 1 << 30, Prio: 0,
+				Algo: e.algo(net, src), Paced: e.paced})
+		}
+		rs := net.SampleRates(2, func(p *netsim.Packet) int { return p.Src }, 100*sim.Microsecond, 4*sim.Millisecond)
+		var qsum float64
+		var qn int
+		for i := 0; i < 100; i++ {
+			eng.At(2*sim.Millisecond+sim.Time(i)*20*sim.Microsecond, func() {
+				qsum += float64(nw.Switches[0].Ports[2].TotalQueuedBytes()) / (100e9 / 8) * 1e6
+				qn++
+			})
+		}
+		eng.RunUntil(4 * sim.Millisecond)
+		a := rs.Between(2*sim.Millisecond, 4*sim.Millisecond, 0)
+		b := rs.Between(2*sim.Millisecond, 4*sim.Millisecond, 1)
+		fair := min(a, b) / max(a, b)
+		fmt.Printf("%-16s %10.1f %10.2f %12.1f\n", e.name, a+b, fair, qsum/float64(qn))
+	}
+	fmt.Println("\nfairness = min/max share of the two flows; queue = mean standing bottleneck queue")
+}

@@ -1,0 +1,3 @@
+module prioplus
+
+go 1.22

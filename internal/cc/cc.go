@@ -1,0 +1,78 @@
+// Package cc implements the congestion-control algorithms evaluated in the
+// PrioPlus paper: Swift (with and without target scaling), DCTCP and
+// D2TCP, LEDBAT, HPCC, and an uncontrolled line-rate sender. The PrioPlus
+// enhancement itself lives in internal/core and wraps any algorithm here
+// that implements DelayBased.
+package cc
+
+import (
+	"math/rand"
+
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+)
+
+// Feedback carries everything an arriving ACK (or probe ACK) tells the
+// congestion controller.
+type Feedback struct {
+	Now        sim.Time
+	Delay      sim.Time // measured RTT, including measurement noise
+	CE         bool     // ECN congestion-experienced echo
+	AckedBytes int      // bytes newly acknowledged by this ACK
+	Seq        int64    // data byte offset this ACK acknowledges
+	CumAck     int64    // receiver's cumulative in-order byte count
+	INT        []netsim.INTRecord
+}
+
+// Driver is the view a congestion controller has of its flow's transport.
+// It provides the paper's Algorithm 1 primitives: StopSending,
+// ResumeSending, SendProbeAfter, and RTO reset, plus static path facts.
+type Driver interface {
+	Now() sim.Time
+	BaseRTT() sim.Time
+	LineRate() netsim.Rate
+	MTU() int
+	SndNxt() int64
+	RemainingBytes() int64
+	StopSending()
+	ResumeSending()
+	SendProbeAfter(d sim.Time)
+	ResetRTO()
+	Rand() *rand.Rand
+}
+
+// Algorithm is a per-flow congestion controller. The transport calls
+// Start once, then OnAck/OnProbeAck/OnRTO as events arrive, and reads
+// CwndBytes before each send decision.
+type Algorithm interface {
+	// Start is called when the flow is ready to transmit. The algorithm
+	// may immediately suspend transmission and probe first.
+	Start(drv Driver)
+	OnAck(fb Feedback)
+	OnProbeAck(fb Feedback)
+	OnRTO()
+	// CwndBytes is the current congestion window in bytes; it may be a
+	// fraction of one packet, in which case the transport paces.
+	CwndBytes() float64
+	// WantsECT reports whether data packets should be ECN-capable.
+	WantsECT() bool
+	Name() string
+}
+
+// DelayBased is the subset of delay-based algorithms PrioPlus can wrap: it
+// exposes the window and additive-increase step for external adjustment and
+// accepts a fixed target delay (disabling any target-scaling mechanism),
+// exactly the integration points §4.1 of the paper requires.
+type DelayBased interface {
+	Algorithm
+	CwndPackets() float64
+	SetCwndPackets(w float64)
+	// AIStep returns the current additive-increase step in packets/RTT.
+	AIStep() float64
+	SetAIStep(w float64)
+	// BaseAIStep returns the algorithm's configured (unmodified) AI step.
+	BaseAIStep() float64
+	// SetTarget pins the target delay (absolute, including base RTT) and
+	// disables target scaling.
+	SetTarget(t sim.Time)
+}

@@ -1,0 +1,178 @@
+package cc_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+)
+
+func TestSwiftRTOBacksOff(t *testing.T) {
+	base := 12 * sim.Microsecond
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(base, 150))
+	sw.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	sw.SetCwndPackets(100)
+	sw.OnRTO()
+	if got := sw.CwndPackets(); got != 50 {
+		t.Errorf("cwnd after RTO = %v, want 50 (MaxMDF backoff)", got)
+	}
+}
+
+func TestSwiftSubPacketAIRegime(t *testing.T) {
+	// Below one packet, Swift's increase is ai*acked (not ai/cwnd), so
+	// recovery from the floor is linear, not hyperbolic.
+	base := 12 * sim.Microsecond
+	cfg := cc.DefaultSwiftConfig(base, 150)
+	sw := cc.NewSwift(cfg)
+	sw.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	sw.SetCwndPackets(0.1)
+	sw.OnAck(cc.Feedback{Now: base, Delay: base, AckedBytes: 1000})
+	want := 0.1 + cfg.AI
+	if got := sw.CwndPackets(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("sub-packet AI: cwnd = %v, want %v", got, want)
+	}
+}
+
+func TestSwiftNameAndECT(t *testing.T) {
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(sim.Microsecond, 10))
+	if sw.Name() != "swift" || sw.WantsECT() {
+		t.Error("Swift identity wrong")
+	}
+	d := cc.NewDCTCP(cc.DefaultDCTCPConfig(10))
+	if d.Name() != "dctcp" || !d.WantsECT() {
+		t.Error("DCTCP identity wrong")
+	}
+	d2cfg := cc.DefaultDCTCPConfig(10)
+	d2cfg.Deadline = sim.Millisecond
+	if cc.NewDCTCP(d2cfg).Name() != "d2tcp" {
+		t.Error("D2TCP identity wrong")
+	}
+	if cc.NewNoCC().Name() != "nocc" {
+		t.Error("NoCC identity wrong")
+	}
+	h := cc.NewHPCC(cc.DefaultHPCCConfig(10))
+	if h.Name() != "hpcc" || !h.WantsECT() {
+		t.Error("HPCC identity wrong")
+	}
+	l := cc.NewLEDBAT(cc.DefaultLEDBATConfig(sim.Microsecond, 10))
+	if l.Name() != "ledbat" || l.WantsECT() {
+		t.Error("LEDBAT identity wrong")
+	}
+}
+
+func TestDCTCPAlphaTracksMarkingFraction(t *testing.T) {
+	base := 12 * sim.Microsecond
+	drv := &stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000}
+	d := cc.NewDCTCP(cc.DefaultDCTCPConfig(150))
+	d.Start(drv)
+	// Feed 50 windows, each fully marked: alpha -> 1, window -> floor.
+	seq := int64(0)
+	for w := 0; w < 50; w++ {
+		drv.sndNxt = seq + 10_000
+		for i := 0; i < 10; i++ {
+			d.OnAck(cc.Feedback{Now: base, Delay: base, CE: true, AckedBytes: 1000, Seq: seq, CumAck: seq + 1000})
+			seq += 1000
+		}
+	}
+	if got := d.CwndBytes() / 1000; got > 2 {
+		t.Errorf("cwnd = %.1f packets under 100%% marking, want near floor", got)
+	}
+}
+
+func TestHPCCIgnoresAcksWithoutINT(t *testing.T) {
+	base := 12 * sim.Microsecond
+	drv := &stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000}
+	h := cc.NewHPCC(cc.DefaultHPCCConfig(150))
+	h.Start(drv)
+	before := h.CwndBytes()
+	h.OnAck(cc.Feedback{Now: base, Delay: base, AckedBytes: 1000})
+	if h.CwndBytes() != before {
+		t.Error("HPCC reacted to an ACK without telemetry")
+	}
+}
+
+func TestHPCCUtilizationControl(t *testing.T) {
+	base := 12 * sim.Microsecond
+	drv := &stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000}
+	h := cc.NewHPCC(cc.DefaultHPCCConfig(150))
+	h.Start(drv)
+	mkINT := func(ts sim.Time, tx int64, qlen int) []netsim.INTRecord {
+		return []netsim.INTRecord{{QLen: qlen, TxBytes: tx, TS: ts, Rate: 100 * netsim.Gbps}}
+	}
+	// First ACK establishes the reference; the second reports a link at
+	// ~2x the target utilization with a standing queue: HPCC must cut.
+	h.OnAck(cc.Feedback{Now: base, Delay: base, AckedBytes: 1000, Seq: 0, INT: mkINT(0, 0, 300_000)})
+	before := h.CwndBytes()
+	h.OnAck(cc.Feedback{Now: base + sim.Microsecond, Delay: base, AckedBytes: 1000, Seq: 1000,
+		INT: mkINT(10*sim.Microsecond, 250_000, 300_000)}) // 25 GB/s on a 12.5 GB/s link
+	if h.CwndBytes() >= before {
+		t.Errorf("HPCC did not cut under 2x utilization: %v -> %v", before, h.CwndBytes())
+	}
+}
+
+func TestLEDBATDecreasesAboveTarget(t *testing.T) {
+	base := 12 * sim.Microsecond
+	cfg := cc.DefaultLEDBATConfig(base, 150)
+	l := cc.NewLEDBAT(cfg)
+	l.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	l.SetCwndPackets(50)
+	l.OnAck(cc.Feedback{Now: base, Delay: cfg.Target + 8*sim.Microsecond, AckedBytes: 1000})
+	if got := l.CwndPackets(); got >= 50 {
+		t.Errorf("LEDBAT cwnd %v did not decrease above target", got)
+	}
+	l.SetCwndPackets(50)
+	l.OnAck(cc.Feedback{Now: base, Delay: base, AckedBytes: 1000})
+	if got := l.CwndPackets(); got <= 50 {
+		t.Errorf("LEDBAT cwnd %v did not increase below target", got)
+	}
+}
+
+// Property: Swift's window stays within [MinCwnd, MaxCwnd] for arbitrary
+// feedback sequences.
+func TestSwiftBoundsProperty(t *testing.T) {
+	base := 12 * sim.Microsecond
+	f := func(delaysUS []uint8, acked []uint8) bool {
+		cfg := cc.DefaultSwiftConfig(base, 150)
+		sw := cc.NewSwift(cfg)
+		sw.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+		now := base
+		for i, d := range delaysUS {
+			bytes := 1000
+			if i < len(acked) {
+				bytes = int(acked[i]) * 100
+			}
+			now += sim.Microsecond
+			sw.OnAck(cc.Feedback{Now: now, Delay: base + sim.Time(d)*sim.Microsecond, AckedBytes: bytes})
+			if w := sw.CwndPackets(); w < cfg.MinCwnd || w > cfg.MaxCwnd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LEDBAT's window stays within bounds too.
+func TestLEDBATBoundsProperty(t *testing.T) {
+	base := 12 * sim.Microsecond
+	f := func(delaysUS []uint8) bool {
+		cfg := cc.DefaultLEDBATConfig(base, 150)
+		l := cc.NewLEDBAT(cfg)
+		l.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+		for _, d := range delaysUS {
+			l.OnAck(cc.Feedback{Now: base, Delay: base + sim.Time(d)*sim.Microsecond, AckedBytes: 1000})
+			if w := l.CwndPackets(); w < cfg.MinCwnd || w > cfg.MaxCwnd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package cc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+func microCfg() topo.Config {
+	cfg := topo.DefaultConfig()
+	cfg.LinkDelay = 3 * sim.Microsecond
+	return cfg
+}
+
+func newStar(nHosts int, mod func(*topo.Config)) (*harness.Net, *sim.Engine) {
+	eng := sim.NewEngine()
+	cfg := microCfg()
+	if mod != nil {
+		mod(&cfg)
+	}
+	net := harness.New(topo.Star(eng, nHosts, cfg), 11)
+	return net, eng
+}
+
+// throughput measures per-key delivered Gb/s at the receiver over [from, to].
+func throughput(net *harness.Net, eng *sim.Engine, recv int, key func(*netsim.Packet) int,
+	from, to sim.Time) map[int]float64 {
+	m := harness.NewThroughputMeter()
+	net.SinkCounter(recv, m, key)
+	var snapFrom map[int]int64
+	eng.At(from, func() { snapFrom = m.Snapshot() })
+	eng.RunUntil(to)
+	out := make(map[int]float64)
+	for k, v := range m.Snapshot() {
+		out[k] = float64(v-snapFrom[k]) * 8 / (to - from).Seconds() / 1e9
+	}
+	return out
+}
+
+func TestSwiftConvergesToTarget(t *testing.T) {
+	net, eng := newStar(3, nil)
+	base := net.Topo.BaseRTT(0, 2)
+	cfg := cc.DefaultSwiftConfig(base, net.BDPPackets(0, 2))
+	sw := cc.NewSwift(cfg)
+	s := net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: sw})
+	var delays []sim.Time
+	for i := 0; i < 50; i++ {
+		eng.At(2*sim.Millisecond+sim.Time(i)*20*sim.Microsecond, func() {
+			delays = append(delays, s.SRTT())
+		})
+	}
+	eng.RunUntil(4 * sim.Millisecond)
+	// Steady-state smoothed RTT should sit near the target.
+	var avg sim.Time
+	for _, d := range delays {
+		avg += d
+	}
+	avg /= sim.Time(len(delays))
+	if avg < base || avg > cfg.Target+4*sim.Microsecond {
+		t.Errorf("steady-state SRTT = %v, want in [base %v, target+4us %v]", avg, base, cfg.Target+4*sim.Microsecond)
+	}
+}
+
+func TestSwiftWorkConserving(t *testing.T) {
+	net, eng := newStar(3, nil)
+	base := net.Topo.BaseRTT(0, 2)
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(base, net.BDPPackets(0, 2)))
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: sw})
+	tp := throughput(net, eng, 2, func(*netsim.Packet) int { return 0 }, sim.Millisecond, 3*sim.Millisecond)
+	if tp[0] < 85 {
+		t.Errorf("single Swift flow at %.1f Gb/s, want ~100", tp[0])
+	}
+}
+
+func TestSwiftFairAmongEquals(t *testing.T) {
+	net, eng := newStar(5, nil)
+	for i := 0; i < 4; i++ {
+		base := net.Topo.BaseRTT(i, 4)
+		sw := cc.NewSwift(cc.DefaultSwiftConfig(base, net.BDPPackets(i, 4)))
+		net.AddFlow(harness.Flow{Src: i, Dst: 4, Size: 1 << 30, Prio: 0, Algo: sw})
+	}
+	tp := throughput(net, eng, 4, func(p *netsim.Packet) int { return p.Src }, 3*sim.Millisecond, 6*sim.Millisecond)
+	total := 0.0
+	for i := 0; i < 4; i++ {
+		total += tp[i]
+		if tp[i] < 12 || tp[i] > 40 {
+			t.Errorf("flow %d at %.1f Gb/s, want ~25 (fair quarter)", i, tp[i])
+		}
+	}
+	if total < 85 {
+		t.Errorf("aggregate %.1f Gb/s, want ~100", total)
+	}
+}
+
+func TestSwiftTargetScalingRaisesTarget(t *testing.T) {
+	base := 12 * sim.Microsecond
+	cfg := cc.DefaultSwiftConfig(base, 150)
+	cfg.TargetScaling = true
+	sw := cc.NewSwift(cfg)
+	drv := &stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000}
+	sw.Start(drv)
+	sw.SetCwndPackets(100)
+	big := sw.TargetNow()
+	sw.SetCwndPackets(0.5)
+	small := sw.TargetNow()
+	if small <= big {
+		t.Errorf("target with cwnd 0.5 (%v) should exceed target with cwnd 100 (%v)", small, big)
+	}
+	if small > cfg.Target+cfg.FSRange {
+		t.Errorf("scaled target %v exceeds FSRange cap %v", small, cfg.Target+cfg.FSRange)
+	}
+	// SetTarget must disable scaling (PrioPlus integration requirement).
+	sw.SetTarget(base + 8*sim.Microsecond)
+	sw.SetCwndPackets(0.5)
+	if got := sw.TargetNow(); got != base+8*sim.Microsecond {
+		t.Errorf("after SetTarget, TargetNow = %v, want pinned %v", got, base+8*sim.Microsecond)
+	}
+}
+
+func TestSwiftDecreaseOncePerRTT(t *testing.T) {
+	base := 12 * sim.Microsecond
+	cfg := cc.DefaultSwiftConfig(base, 150)
+	sw := cc.NewSwift(cfg)
+	drv := &stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000}
+	sw.Start(drv)
+	sw.SetCwndPackets(100)
+	high := cfg.Target + 20*sim.Microsecond
+	// Many over-target ACKs within one RTT: only one decrease applies.
+	sw.OnAck(cc.Feedback{Now: base, Delay: high, AckedBytes: 1000})
+	after1 := sw.CwndPackets()
+	for i := 0; i < 10; i++ {
+		sw.OnAck(cc.Feedback{Now: base + sim.Time(i), Delay: high, AckedBytes: 1000})
+	}
+	if got := sw.CwndPackets(); got != after1 {
+		t.Errorf("cwnd decreased again within the same RTT: %v -> %v", after1, got)
+	}
+	// After a full RTT, another decrease is allowed.
+	sw.OnAck(cc.Feedback{Now: base + high + sim.Microsecond, Delay: high, AckedBytes: 1000})
+	if got := sw.CwndPackets(); got >= after1 {
+		t.Errorf("no decrease after a full RTT elapsed: %v", got)
+	}
+}
+
+func TestSwiftMDBounded(t *testing.T) {
+	base := 12 * sim.Microsecond
+	cfg := cc.DefaultSwiftConfig(base, 150)
+	sw := cc.NewSwift(cfg)
+	drv := &stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000}
+	sw.Start(drv)
+	sw.SetCwndPackets(100)
+	// Enormous delay: decrease capped at MaxMDF.
+	sw.OnAck(cc.Feedback{Now: base, Delay: base * 100, AckedBytes: 1000})
+	if got := sw.CwndPackets(); got < 100*(1-cfg.MaxMDF)-1e-9 {
+		t.Errorf("cwnd %v dropped below the MaxMDF floor %v", got, 100*(1-cfg.MaxMDF))
+	}
+}
+
+// stubDriver satisfies cc.Driver for direct unit tests.
+type stubDriver struct {
+	base    sim.Time
+	rate    netsim.Rate
+	mtu     int
+	now     sim.Time
+	stopped bool
+	probes  int
+	sndNxt  int64
+}
+
+func (d *stubDriver) Now() sim.Time             { return d.now }
+func (d *stubDriver) BaseRTT() sim.Time         { return d.base }
+func (d *stubDriver) LineRate() netsim.Rate     { return d.rate }
+func (d *stubDriver) MTU() int                  { return d.mtu }
+func (d *stubDriver) SndNxt() int64             { return d.sndNxt }
+func (d *stubDriver) RemainingBytes() int64     { return 1 << 20 }
+func (d *stubDriver) StopSending()              { d.stopped = true }
+func (d *stubDriver) ResumeSending()            { d.stopped = false }
+func (d *stubDriver) SendProbeAfter(t sim.Time) { d.probes++ }
+func (d *stubDriver) ResetRTO()                 {}
+func (d *stubDriver) Rand() *rand.Rand          { return rand.New(rand.NewSource(1)) }
+
+func TestDCTCPConvergesUnderECN(t *testing.T) {
+	net, eng := newStar(3, func(cfg *topo.Config) {
+		cfg.Buffer.ECNKMin = 100 * 1000 // ~100 packets, DCTCP K for 100G
+		cfg.Buffer.ECNKMax = 100 * 1000
+	})
+	for i := 0; i < 2; i++ {
+		d := cc.NewDCTCP(cc.DefaultDCTCPConfig(net.BDPPackets(i, 2)))
+		net.AddFlow(harness.Flow{Src: i, Dst: 2, Size: 1 << 30, Prio: 0, Algo: d})
+	}
+	tp := throughput(net, eng, 2, func(p *netsim.Packet) int { return p.Src }, 2*sim.Millisecond, 5*sim.Millisecond)
+	if tp[0]+tp[1] < 80 {
+		t.Errorf("DCTCP aggregate %.1f Gb/s, want ~100", tp[0]+tp[1])
+	}
+	ratio := tp[0] / tp[1]
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("DCTCP share ratio %.2f, want ~1", ratio)
+	}
+	// The standing queue must stay bounded near K: check via switch marks.
+	if net.Topo.Switches[0].ECNMarks == 0 {
+		t.Error("no ECN marks: DCTCP had no congestion signal")
+	}
+}
+
+func TestD2TCPDeadlineGetsMoreBandwidth(t *testing.T) {
+	// The Fig 3a setup: a tight-deadline and a loose-deadline D2TCP flow
+	// share one queue; the tight one should get a larger share, but not
+	// strict priority (the paper's Observation 1).
+	net, eng := newStar(3, func(cfg *topo.Config) {
+		cfg.Buffer.ECNKMin = 100 * 1000
+		cfg.Buffer.ECNKMax = 100 * 1000
+	})
+	size := int64(8 << 20)
+	ideal := sim.FromSeconds(float64(size) / (100e9 / 8))
+	var fct [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		ccfg := cc.DefaultDCTCPConfig(net.BDPPackets(i, 2))
+		if i == 0 {
+			ccfg.Deadline = ideal // tight: 1x ideal FCT
+		} else {
+			ccfg.Deadline = 2 * ideal // loose: 2x
+		}
+		net.AddFlow(harness.Flow{
+			Src: i, Dst: 2, Size: size, Prio: 0,
+			Algo:       cc.NewDCTCP(ccfg),
+			OnComplete: func(d sim.Time) { fct[i] = d },
+		})
+	}
+	eng.RunUntil(20 * sim.Millisecond)
+	if fct[0] == 0 || fct[1] == 0 {
+		t.Fatalf("flows did not finish: %v %v", fct[0], fct[1])
+	}
+	if fct[0] >= fct[1] {
+		t.Errorf("tight-deadline FCT %v >= loose FCT %v", fct[0], fct[1])
+	}
+	// But D2TCP is weighted, not strict: the tight flow cannot finish at
+	// its ideal FCT because the loose flow keeps transmitting (the paper's
+	// Observation 1).
+	if fct[0] < ideal*11/10 {
+		t.Errorf("tight FCT %v is near ideal %v: unexpectedly strict prioritization", fct[0], ideal)
+	}
+}
+
+func TestLEDBATConvergesToTarget(t *testing.T) {
+	net, eng := newStar(3, nil)
+	base := net.Topo.BaseRTT(0, 2)
+	l := cc.NewLEDBAT(cc.DefaultLEDBATConfig(base, net.BDPPackets(0, 2)))
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: l})
+	tp := throughput(net, eng, 2, func(*netsim.Packet) int { return 0 }, 2*sim.Millisecond, 4*sim.Millisecond)
+	if tp[0] < 80 {
+		t.Errorf("LEDBAT at %.1f Gb/s, want ~100 (keeps delay at target, fully using the link)", tp[0])
+	}
+}
+
+func TestHPCCHighUtilizationLowQueue(t *testing.T) {
+	net, eng := newStar(3, nil)
+	net.EnableINT()
+	for i := 0; i < 2; i++ {
+		h := cc.NewHPCC(cc.DefaultHPCCConfig(net.BDPPackets(i, 2)))
+		net.AddFlow(harness.Flow{Src: i, Dst: 2, Size: 1 << 30, Prio: 0, Algo: h})
+	}
+	// Sample the bottleneck queue in steady state.
+	var maxq int
+	for i := 0; i < 100; i++ {
+		eng.At(2*sim.Millisecond+sim.Time(i)*10*sim.Microsecond, func() {
+			if q := net.Topo.Switches[0].Ports[2].TotalQueuedBytes(); q > maxq {
+				maxq = q
+			}
+		})
+	}
+	tp := throughput(net, eng, 2, func(p *netsim.Packet) int { return p.Src }, 2*sim.Millisecond, 4*sim.Millisecond)
+	total := tp[0] + tp[1]
+	if total < 75 || total > 101 {
+		t.Errorf("HPCC aggregate %.1f Gb/s, want near eta*line rate (95)", total)
+	}
+	// HPCC's near-zero-queue property: steady-state queue well below 1 BDP.
+	if maxq > 150000 {
+		t.Errorf("HPCC steady-state queue %d B, want < 1 BDP (150 KB)", maxq)
+	}
+}
+
+func TestNoCCFloodsAtLineRate(t *testing.T) {
+	net, eng := newStar(3, nil)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 26, Prio: 0, Algo: cc.NewNoCC()})
+	tp := throughput(net, eng, 2, func(*netsim.Packet) int { return 0 }, 100*sim.Microsecond, 2*sim.Millisecond)
+	if tp[0] < 90 {
+		t.Errorf("NoCC at %.1f Gb/s, want line rate", tp[0])
+	}
+}

@@ -1,0 +1,142 @@
+package cc
+
+import (
+	"math"
+
+	"prioplus/internal/sim"
+)
+
+// DCTCPConfig parameterizes DCTCP [Alizadeh et al., SIGCOMM'10] and its
+// deadline-aware extension D2TCP [Vamanan et al., SIGCOMM'12].
+type DCTCPConfig struct {
+	// G is the EWMA gain for the marked fraction (DCTCP recommends 1/16).
+	G float64
+	// MinCwnd/MaxCwnd bound the window in packets.
+	MinCwnd float64
+	MaxCwnd float64
+	// Deadline, when nonzero, turns the controller into D2TCP: the window
+	// reduction becomes alpha^d/2 where d is the deadline-imminence
+	// factor, so urgent flows back off less.
+	Deadline sim.Time // absolute completion deadline
+}
+
+// DefaultDCTCPConfig returns standard DCTCP parameters for a path with the
+// given BDP in packets.
+func DefaultDCTCPConfig(bdpPkts float64) DCTCPConfig {
+	return DCTCPConfig{
+		G:       1.0 / 16,
+		MinCwnd: 1,
+		MaxCwnd: math.Max(bdpPkts*1.2, 4),
+	}
+}
+
+// DCTCP implements DCTCP, and D2TCP when a deadline is set.
+type DCTCP struct {
+	cfg  DCTCPConfig
+	drv  Driver
+	cwnd float64
+
+	alpha       float64
+	ackedBytes  int64
+	markedBytes int64
+	windowEnd   int64 // alpha update boundary (snd.nxt at window start)
+	srtt        sim.Time
+	ceSeen      bool // CE observed in the current window
+	start       sim.Time
+}
+
+// NewDCTCP returns a DCTCP (or D2TCP, if cfg.Deadline is set) instance.
+func NewDCTCP(cfg DCTCPConfig) *DCTCP { return &DCTCP{cfg: cfg} }
+
+// Name implements Algorithm.
+func (d *DCTCP) Name() string {
+	if d.cfg.Deadline > 0 {
+		return "d2tcp"
+	}
+	return "dctcp"
+}
+
+// WantsECT implements Algorithm.
+func (d *DCTCP) WantsECT() bool { return true }
+
+// Start implements Algorithm: slow-start from one BDP like the paper's
+// RDMA-style configuration (the evaluation compares steady-state
+// prioritization, not ramp-up).
+func (d *DCTCP) Start(drv Driver) {
+	d.drv = drv
+	if d.cwnd == 0 {
+		bdp := drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
+		d.cwnd = d.clamp(bdp)
+	}
+	d.srtt = drv.BaseRTT()
+	d.start = drv.Now()
+	d.windowEnd = drv.SndNxt()
+}
+
+func (d *DCTCP) clamp(w float64) float64 {
+	return math.Min(math.Max(w, d.cfg.MinCwnd), d.cfg.MaxCwnd)
+}
+
+// penalty returns the window-reduction fraction: alpha/2 for DCTCP,
+// alpha^d/2 for D2TCP where d is the deadline-imminence factor in [0.5, 2].
+func (d *DCTCP) penalty(now sim.Time) float64 {
+	if d.cfg.Deadline <= 0 {
+		return d.alpha / 2
+	}
+	remaining := float64(d.drv.RemainingBytes())
+	rate := d.cwnd * float64(d.drv.MTU()) / math.Max(d.srtt.Seconds(), 1e-9)
+	need := remaining / math.Max(rate, 1)
+	left := (d.cfg.Deadline - now).Seconds()
+	var imm float64
+	if left <= 0 {
+		imm = 2
+	} else {
+		imm = need / left
+	}
+	imm = math.Min(math.Max(imm, 0.5), 2)
+	return math.Pow(d.alpha, imm) / 2
+}
+
+// OnAck implements Algorithm.
+func (d *DCTCP) OnAck(fb Feedback) {
+	if fb.Delay > 0 {
+		if d.srtt == 0 {
+			d.srtt = fb.Delay
+		} else {
+			d.srtt = (7*d.srtt + fb.Delay) / 8
+		}
+	}
+	d.ackedBytes += int64(fb.AckedBytes)
+	if fb.CE {
+		d.markedBytes += int64(fb.AckedBytes)
+		d.ceSeen = true
+	}
+	if fb.CumAck >= d.windowEnd {
+		// One window's worth of data acknowledged: fold the marked
+		// fraction into alpha and apply at most one reduction.
+		var f float64
+		if d.ackedBytes > 0 {
+			f = float64(d.markedBytes) / float64(d.ackedBytes)
+		}
+		d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*f
+		if d.ceSeen {
+			d.cwnd *= 1 - d.penalty(fb.Now)
+		}
+		d.ackedBytes, d.markedBytes, d.ceSeen = 0, 0, false
+		d.windowEnd = d.drv.SndNxt()
+	}
+	if !fb.CE {
+		ackedPkts := float64(fb.AckedBytes) / float64(d.drv.MTU())
+		d.cwnd += ackedPkts / math.Max(d.cwnd, 1)
+	}
+	d.cwnd = d.clamp(d.cwnd)
+}
+
+// OnProbeAck implements Algorithm.
+func (d *DCTCP) OnProbeAck(fb Feedback) {}
+
+// OnRTO implements Algorithm.
+func (d *DCTCP) OnRTO() { d.cwnd = d.clamp(d.cwnd / 2) }
+
+// CwndBytes implements Algorithm.
+func (d *DCTCP) CwndBytes() float64 { return d.cwnd * float64(d.drv.MTU()) }

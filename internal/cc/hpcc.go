@@ -1,0 +1,128 @@
+package cc
+
+import (
+	"math"
+
+	"prioplus/internal/netsim"
+)
+
+// HPCCConfig parameterizes HPCC [Li et al., SIGCOMM'19], the INT-based
+// controller used as a baseline in the paper's Appendix A.3/A.4.
+type HPCCConfig struct {
+	Eta      float64 // target utilization (0.95)
+	MaxStage int     // additive-increase stages before forced MI
+	WAI      float64 // additive increase in packets
+	MinCwnd  float64
+	MaxCwnd  float64
+}
+
+// DefaultHPCCConfig returns the HPCC paper's recommended parameters for a
+// path with the given BDP in packets.
+func DefaultHPCCConfig(bdpPkts float64) HPCCConfig {
+	return HPCCConfig{
+		Eta:      0.95,
+		MaxStage: 5,
+		WAI:      math.Max(bdpPkts*(1-0.95)/8, 0.05),
+		MinCwnd:  0.1,
+		MaxCwnd:  math.Max(bdpPkts*1.2, 4),
+	}
+}
+
+// HPCC implements the HPCC controller using per-hop INT stamped by the
+// switches (enable Port.INTEnabled on the fabric).
+type HPCC struct {
+	cfg  HPCCConfig
+	drv  Driver
+	cwnd float64 // current window, packets
+	wc   float64 // reference window, packets
+
+	prev      []netsim.INTRecord
+	incStage  int
+	lastWcSeq int64 // update Wc once per RTT, tracked by sequence
+}
+
+// NewHPCC returns an HPCC instance.
+func NewHPCC(cfg HPCCConfig) *HPCC { return &HPCC{cfg: cfg} }
+
+// Name implements Algorithm.
+func (h *HPCC) Name() string { return "hpcc" }
+
+// WantsECT implements Algorithm: INT is stamped on ECT packets.
+func (h *HPCC) WantsECT() bool { return true }
+
+// Start implements Algorithm: HPCC starts at line rate (one BDP).
+func (h *HPCC) Start(drv Driver) {
+	h.drv = drv
+	bdp := drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
+	if h.cwnd == 0 {
+		h.cwnd = h.clamp(bdp)
+		h.wc = h.cwnd
+	}
+}
+
+func (h *HPCC) clamp(w float64) float64 {
+	return math.Min(math.Max(w, h.cfg.MinCwnd), h.cfg.MaxCwnd)
+}
+
+// utilization computes the max normalized in-flight share across hops,
+// HPCC's U, from consecutive INT vectors.
+func (h *HPCC) utilization(cur []netsim.INTRecord) (float64, bool) {
+	if len(h.prev) != len(cur) {
+		return 0, false
+	}
+	base := h.drv.BaseRTT().Seconds()
+	u := 0.0
+	for i := range cur {
+		dt := (cur[i].TS - h.prev[i].TS).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		txRate := float64(cur[i].TxBytes-h.prev[i].TxBytes) / dt // bytes/s
+		bps := cur[i].Rate.BytesPerSec()
+		qlen := math.Min(float64(cur[i].QLen), float64(h.prev[i].QLen))
+		uj := qlen/(bps*base) + txRate/bps
+		u = math.Max(u, uj)
+	}
+	return u, true
+}
+
+// OnAck implements Algorithm, following the HPCC paper's pseudocode with a
+// per-RTT reference-window update.
+func (h *HPCC) OnAck(fb Feedback) {
+	if len(fb.INT) == 0 {
+		return
+	}
+	u, ok := h.utilization(fb.INT)
+	h.prev = append(h.prev[:0], fb.INT...)
+	if !ok {
+		return
+	}
+	updateWc := fb.Seq >= h.lastWcSeq
+	if u >= h.cfg.Eta || h.incStage >= h.cfg.MaxStage {
+		h.cwnd = h.clamp(h.wc/(u/h.cfg.Eta) + h.cfg.WAI)
+		if updateWc {
+			h.wc = h.cwnd
+			h.incStage = 0
+			h.lastWcSeq = h.drv.SndNxt()
+		}
+	} else {
+		h.cwnd = h.clamp(h.wc + h.cfg.WAI)
+		if updateWc {
+			h.wc = h.cwnd
+			h.incStage++
+			h.lastWcSeq = h.drv.SndNxt()
+		}
+	}
+}
+
+// OnProbeAck implements Algorithm.
+func (h *HPCC) OnProbeAck(fb Feedback) {}
+
+// OnRTO implements Algorithm.
+func (h *HPCC) OnRTO() {
+	h.cwnd = h.clamp(h.cwnd / 2)
+	h.wc = h.cwnd
+}
+
+// CwndBytes implements Algorithm.
+func (h *HPCC) CwndBytes() float64 { return h.cwnd * float64(h.drv.MTU()) }

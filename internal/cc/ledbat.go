@@ -1,0 +1,103 @@
+package cc
+
+import (
+	"math"
+
+	"prioplus/internal/sim"
+)
+
+// LEDBATConfig parameterizes LEDBAT [RFC 6817], the scavenger delay-based
+// controller the paper integrates PrioPlus with as a second base CC. The
+// target here is an absolute delay (base RTT + queuing budget) so the same
+// channel assignment code drives Swift and LEDBAT.
+type LEDBATConfig struct {
+	Target  sim.Time // absolute target delay
+	Gain    float64  // window gain per off-target unit
+	MinCwnd float64
+	MaxCwnd float64
+}
+
+// DefaultLEDBATConfig returns LEDBAT parameters adapted to data-center
+// RTTs: the RFC's 100 ms target is replaced with a microsecond-scale
+// queuing budget, as the paper does when assigning per-priority targets.
+func DefaultLEDBATConfig(baseRTT sim.Time, bdpPkts float64) LEDBATConfig {
+	return LEDBATConfig{
+		Target:  baseRTT + 4*sim.Microsecond,
+		Gain:    1,
+		MinCwnd: 0.1,
+		MaxCwnd: math.Max(bdpPkts*8, 8), // see SwiftConfig.MaxCwnd
+	}
+}
+
+// LEDBAT implements the LEDBAT controller.
+type LEDBAT struct {
+	cfg  LEDBATConfig
+	drv  Driver
+	cwnd float64
+	ai   float64 // gain multiplier PrioPlus can adjust
+}
+
+// NewLEDBAT returns a LEDBAT instance.
+func NewLEDBAT(cfg LEDBATConfig) *LEDBAT { return &LEDBAT{cfg: cfg, ai: cfg.Gain} }
+
+// Name implements Algorithm.
+func (l *LEDBAT) Name() string { return "ledbat" }
+
+// WantsECT implements Algorithm.
+func (l *LEDBAT) WantsECT() bool { return false }
+
+// Start implements Algorithm.
+func (l *LEDBAT) Start(drv Driver) {
+	l.drv = drv
+	if l.cwnd == 0 {
+		l.cwnd = l.clamp(2)
+	}
+}
+
+func (l *LEDBAT) clamp(w float64) float64 {
+	return math.Min(math.Max(w, l.cfg.MinCwnd), l.cfg.MaxCwnd)
+}
+
+// OnAck implements Algorithm: the linear controller from RFC 6817 §2.4.2,
+// with queuing delay measured against the known base RTT.
+func (l *LEDBAT) OnAck(fb Feedback) {
+	queuing := fb.Delay - l.drv.BaseRTT()
+	budget := l.cfg.Target - l.drv.BaseRTT()
+	if budget <= 0 {
+		budget = sim.Microsecond
+	}
+	off := float64(budget-queuing) / float64(budget) // >0 below target
+	if off > 1 {
+		off = 1
+	}
+	ackedPkts := float64(fb.AckedBytes) / float64(l.drv.MTU())
+	l.cwnd += l.ai * off * ackedPkts / math.Max(l.cwnd, l.cfg.MinCwnd)
+	l.cwnd = l.clamp(l.cwnd)
+}
+
+// OnProbeAck implements Algorithm.
+func (l *LEDBAT) OnProbeAck(fb Feedback) { l.OnAck(fb) }
+
+// OnRTO implements Algorithm.
+func (l *LEDBAT) OnRTO() { l.cwnd = l.clamp(l.cwnd / 2) }
+
+// CwndBytes implements Algorithm.
+func (l *LEDBAT) CwndBytes() float64 { return l.cwnd * float64(l.drv.MTU()) }
+
+// CwndPackets implements DelayBased.
+func (l *LEDBAT) CwndPackets() float64 { return l.cwnd }
+
+// SetCwndPackets implements DelayBased.
+func (l *LEDBAT) SetCwndPackets(w float64) { l.cwnd = l.clamp(w) }
+
+// AIStep implements DelayBased.
+func (l *LEDBAT) AIStep() float64 { return l.ai }
+
+// SetAIStep implements DelayBased.
+func (l *LEDBAT) SetAIStep(w float64) { l.ai = w }
+
+// BaseAIStep implements DelayBased.
+func (l *LEDBAT) BaseAIStep() float64 { return l.cfg.Gain }
+
+// SetTarget implements DelayBased.
+func (l *LEDBAT) SetTarget(t sim.Time) { l.cfg.Target = t }

@@ -1,0 +1,35 @@
+package cc
+
+import "math"
+
+// NoCC is the uncontrolled sender used for the "Physical* w/o CC"
+// baseline: it transmits at line rate and relies entirely on PFC and
+// priority queues. Its window is effectively unbounded.
+type NoCC struct {
+	drv Driver
+}
+
+// NewNoCC returns an uncontrolled sender.
+func NewNoCC() *NoCC { return &NoCC{} }
+
+// Name implements Algorithm.
+func (n *NoCC) Name() string { return "nocc" }
+
+// WantsECT implements Algorithm.
+func (n *NoCC) WantsECT() bool { return false }
+
+// Start implements Algorithm.
+func (n *NoCC) Start(drv Driver) { n.drv = drv }
+
+// OnAck implements Algorithm.
+func (n *NoCC) OnAck(fb Feedback) {}
+
+// OnProbeAck implements Algorithm.
+func (n *NoCC) OnProbeAck(fb Feedback) {}
+
+// OnRTO implements Algorithm.
+func (n *NoCC) OnRTO() {}
+
+// CwndBytes implements Algorithm: effectively unbounded, so the transport
+// releases packets as fast as the NIC drains them.
+func (n *NoCC) CwndBytes() float64 { return math.Inf(1) }

@@ -1,0 +1,134 @@
+package cc_test
+
+import (
+	"testing"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+func TestDCQCNConvergesUnderECN(t *testing.T) {
+	net, eng := newStar(3, func(cfg *topo.Config) {
+		cfg.Buffer.ECNKMin = 100_000
+		cfg.Buffer.ECNKMax = 400_000
+		cfg.Buffer.ECNPMax = 0.1
+	})
+	for i := 0; i < 2; i++ {
+		d := cc.NewDCQCN(cc.DefaultDCQCNConfig(100 * netsim.Gbps))
+		net.AddFlow(harness.Flow{Src: i, Dst: 2, Size: 1 << 30, Prio: 0, Algo: d, Paced: true})
+	}
+	tp := throughput(net, eng, 2, func(p *netsim.Packet) int { return p.Src }, 3*sim.Millisecond, 6*sim.Millisecond)
+	total := tp[0] + tp[1]
+	if total < 75 {
+		t.Errorf("DCQCN aggregate %.1f Gb/s, want near line rate", total)
+	}
+	ratio := tp[0] / tp[1]
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("DCQCN share ratio %.2f, want roughly fair", ratio)
+	}
+	if net.Topo.Switches[0].ECNMarks == 0 {
+		t.Error("no ECN marks: DCQCN ran without a congestion signal")
+	}
+}
+
+func TestDCQCNBacksOffOnMarks(t *testing.T) {
+	base := 12 * sim.Microsecond
+	d := cc.NewDCQCN(cc.DefaultDCQCNConfig(100 * netsim.Gbps))
+	d.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	start := d.RateBps()
+	now := base
+	for i := 0; i < 10; i++ {
+		now += 60 * sim.Microsecond
+		d.OnAck(cc.Feedback{Now: now, Delay: base, CE: true, AckedBytes: 1000})
+	}
+	if d.RateBps() >= start/2 {
+		t.Errorf("rate %.2g after sustained marks, want well below line %.2g", d.RateBps(), start)
+	}
+}
+
+func TestDCQCNRecoversAfterMarksStop(t *testing.T) {
+	base := 12 * sim.Microsecond
+	d := cc.NewDCQCN(cc.DefaultDCQCNConfig(100 * netsim.Gbps))
+	d.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	now := base
+	for i := 0; i < 10; i++ {
+		now += 60 * sim.Microsecond
+		d.OnAck(cc.Feedback{Now: now, Delay: base, CE: true, AckedBytes: 1000})
+	}
+	low := d.RateBps()
+	for i := 0; i < 100; i++ {
+		now += 60 * sim.Microsecond
+		d.OnAck(cc.Feedback{Now: now, Delay: base, AckedBytes: 1000})
+	}
+	if d.RateBps() < low*4 {
+		t.Errorf("rate %.2g did not recover (was %.2g); fast recovery + HAI broken", d.RateBps(), low)
+	}
+}
+
+func TestTIMELYWorkConserving(t *testing.T) {
+	net, eng := newStar(3, nil)
+	base := net.Topo.BaseRTT(0, 2)
+	tm := cc.NewTIMELY(cc.DefaultTIMELYConfig(base, 100e9))
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: tm, Paced: true})
+	tp := throughput(net, eng, 2, func(*netsim.Packet) int { return 0 }, 2*sim.Millisecond, 4*sim.Millisecond)
+	if tp[0] < 80 {
+		t.Errorf("TIMELY single flow %.1f Gb/s, want near line rate", tp[0])
+	}
+}
+
+func TestTIMELYGradientReaction(t *testing.T) {
+	base := 12 * sim.Microsecond
+	tm := cc.NewTIMELY(cc.DefaultTIMELYConfig(base, 100e9))
+	tm.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	start := tm.RateBps()
+	// Rising RTT within the gradient band: rate must fall.
+	now := base
+	for i := 0; i < 20; i++ {
+		now += 12 * sim.Microsecond
+		tm.OnAck(cc.Feedback{Now: now, Delay: base + sim.Time(4+i)*sim.Microsecond, AckedBytes: 1000})
+	}
+	if tm.RateBps() >= start {
+		t.Error("rate did not fall under a positive RTT gradient")
+	}
+	mid := tm.RateBps()
+	// Falling RTT: rate must rise again.
+	for i := 0; i < 40; i++ {
+		now += 12 * sim.Microsecond
+		d := base + sim.Time(max(0, 24-i))*sim.Microsecond
+		tm.OnAck(cc.Feedback{Now: now, Delay: d, AckedBytes: 1000})
+	}
+	if tm.RateBps() <= mid {
+		t.Error("rate did not recover under a negative gradient")
+	}
+}
+
+func TestTIMELYHardThresholds(t *testing.T) {
+	base := 12 * sim.Microsecond
+	cfg := cc.DefaultTIMELYConfig(base, 100e9)
+	tm := cc.NewTIMELY(cfg)
+	tm.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	// Above THigh: always decrease, even with zero gradient.
+	now := base
+	tm.OnAck(cc.Feedback{Now: now, Delay: cfg.THigh + 10*sim.Microsecond, AckedBytes: 1000})
+	before := tm.RateBps()
+	now += 12 * sim.Microsecond
+	tm.OnAck(cc.Feedback{Now: now, Delay: cfg.THigh + 10*sim.Microsecond, AckedBytes: 1000})
+	if tm.RateBps() >= before {
+		t.Error("no decrease above THigh with flat RTT")
+	}
+	// Below TLow: always increase, even with a positive gradient.
+	tm2 := cc.NewTIMELY(cfg)
+	tm2.Start(&stubDriver{base: base, rate: 100 * netsim.Gbps, mtu: 1000})
+	tm2.OnRTO() // knock the rate down so increase is visible
+	low := tm2.RateBps()
+	now = base
+	tm2.OnAck(cc.Feedback{Now: now, Delay: base, AckedBytes: 1000})
+	now += 12 * sim.Microsecond
+	tm2.OnAck(cc.Feedback{Now: now, Delay: base + sim.Microsecond, AckedBytes: 1000})
+	if tm2.RateBps() <= low {
+		t.Error("no increase below TLow")
+	}
+}

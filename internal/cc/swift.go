@@ -1,0 +1,182 @@
+package cc
+
+import (
+	"math"
+
+	"prioplus/internal/sim"
+)
+
+// SwiftConfig parameterizes the Swift delay-based controller [Kumar et al.,
+// SIGCOMM'20], in the simplified form the PrioPlus paper analyzes
+// (Appendix D): additive increase of AI packets per RTT, once-per-RTT
+// multiplicative decrease of beta*(delay-target)/delay capped at MaxMDF,
+// and optional flow-based target scaling.
+type SwiftConfig struct {
+	// Target is the absolute target delay (base RTT + queuing budget).
+	Target sim.Time
+	// AI is the additive-increase step in packets per RTT.
+	AI float64
+	// Beta scales the multiplicative decrease.
+	Beta float64
+	// MaxMDF caps a single multiplicative decrease.
+	MaxMDF float64
+	// MinCwnd/MaxCwnd bound the window, in packets. MinCwnd below one
+	// packet makes the transport pace (the paper's 100 Mb/s minimum rate
+	// corresponds to ~0.15 packets at a 12 us RTT).
+	MinCwnd float64
+	MaxCwnd float64
+	// TargetScaling enables Swift's flow-based scaling: as cwnd shrinks
+	// (more competing flows), the target grows by up to FSRange.
+	TargetScaling bool
+	FSRange       sim.Time
+	FSMinCwnd     float64
+	FSMaxCwnd     float64
+}
+
+// DefaultSwiftConfig returns the parameters used throughout the paper's
+// experiments for a path with the given base RTT and line-rate BDP
+// (in packets).
+func DefaultSwiftConfig(baseRTT sim.Time, bdpPkts float64) SwiftConfig {
+	return SwiftConfig{
+		Target:  baseRTT + 4*sim.Microsecond,
+		AI:      0.125, // ~125 B per RTT: keeps 150-flow fluctuation within the paper's 3.2 us budget
+		Beta:    0.8,
+		MaxMDF:  0.5,
+		MinCwnd: 0.1,
+		// The ceiling must admit windows well beyond one BDP: a flow
+		// holding the delay at a high PrioPlus channel needs BDP plus the
+		// channel's queue (up to several BDP for 8-12 priorities). The
+		// target-delay regulation, not this cap, bounds the queue.
+		MaxCwnd:       math.Max(bdpPkts*8, 8),
+		TargetScaling: false,
+		FSRange:       20 * sim.Microsecond,
+		FSMinCwnd:     0.1,
+		FSMaxCwnd:     math.Max(bdpPkts, 1),
+	}
+}
+
+// Swift implements the Swift congestion controller.
+type Swift struct {
+	cfg  SwiftConfig
+	drv  Driver
+	cwnd float64 // packets
+
+	ai           float64
+	lastDecrease sim.Time
+	srtt         sim.Time
+
+	// Precomputed flow-scaling coefficients.
+	fsAlpha, fsBeta float64
+}
+
+// NewSwift returns a Swift instance. The initial window is one BDP (set at
+// Start); RDMA-style line-rate start is approximated by starting at
+// MaxCwnd when LineRateStart is used via SetCwndPackets.
+func NewSwift(cfg SwiftConfig) *Swift {
+	s := &Swift{cfg: cfg, ai: cfg.AI}
+	if cfg.TargetScaling {
+		den := 1/math.Sqrt(cfg.FSMinCwnd) - 1/math.Sqrt(cfg.FSMaxCwnd)
+		if den > 0 {
+			s.fsAlpha = float64(cfg.FSRange) / den
+			s.fsBeta = s.fsAlpha / math.Sqrt(cfg.FSMaxCwnd)
+		}
+	}
+	return s
+}
+
+// Name implements Algorithm.
+func (s *Swift) Name() string { return "swift" }
+
+// WantsECT implements Algorithm: Swift is delay-based and ignores ECN.
+func (s *Swift) WantsECT() bool { return false }
+
+// Start implements Algorithm: Swift starts at line rate for one base RTT
+// (one BDP window), the common RDMA-CC choice the paper's §3.3 discusses.
+func (s *Swift) Start(drv Driver) {
+	s.drv = drv
+	if s.cwnd == 0 {
+		bdp := drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
+		s.cwnd = s.clamp(bdp)
+	}
+	s.srtt = drv.BaseRTT()
+}
+
+// TargetNow returns the effective target delay for the current window,
+// including flow scaling if enabled.
+func (s *Swift) TargetNow() sim.Time {
+	t := s.cfg.Target
+	if s.cfg.TargetScaling && s.fsAlpha > 0 {
+		fs := s.fsAlpha/math.Sqrt(math.Max(s.cwnd, s.cfg.FSMinCwnd)) - s.fsBeta
+		fs = math.Min(math.Max(fs, 0), float64(s.cfg.FSRange))
+		t += sim.Time(fs)
+	}
+	return t
+}
+
+func (s *Swift) clamp(w float64) float64 {
+	return math.Min(math.Max(w, s.cfg.MinCwnd), s.cfg.MaxCwnd)
+}
+
+// OnAck implements Algorithm.
+func (s *Swift) OnAck(fb Feedback) {
+	if fb.Delay > 0 {
+		if s.srtt == 0 {
+			s.srtt = fb.Delay
+		} else {
+			s.srtt = (7*s.srtt + fb.Delay) / 8
+		}
+	}
+	target := s.TargetNow()
+	ackedPkts := float64(fb.AckedBytes) / float64(s.drv.MTU())
+	if ackedPkts <= 0 {
+		ackedPkts = 1
+	}
+	if fb.Delay < target {
+		if s.cwnd >= 1 {
+			s.cwnd += s.ai / s.cwnd * ackedPkts
+		} else {
+			s.cwnd += s.ai * ackedPkts
+		}
+	} else if fb.Now-s.lastDecrease >= s.srtt {
+		md := s.cfg.Beta * float64(fb.Delay-target) / float64(fb.Delay)
+		if md > s.cfg.MaxMDF {
+			md = s.cfg.MaxMDF
+		}
+		s.cwnd *= 1 - md
+		s.lastDecrease = fb.Now
+	}
+	s.cwnd = s.clamp(s.cwnd)
+}
+
+// OnProbeAck implements Algorithm. Plain Swift treats a probe ACK as a
+// delay sample.
+func (s *Swift) OnProbeAck(fb Feedback) { s.OnAck(fb) }
+
+// OnRTO implements Algorithm.
+func (s *Swift) OnRTO() {
+	s.cwnd = s.clamp(s.cwnd * (1 - s.cfg.MaxMDF))
+}
+
+// CwndBytes implements Algorithm.
+func (s *Swift) CwndBytes() float64 { return s.cwnd * float64(s.drv.MTU()) }
+
+// CwndPackets implements DelayBased.
+func (s *Swift) CwndPackets() float64 { return s.cwnd }
+
+// SetCwndPackets implements DelayBased.
+func (s *Swift) SetCwndPackets(w float64) { s.cwnd = s.clamp(w) }
+
+// AIStep implements DelayBased.
+func (s *Swift) AIStep() float64 { return s.ai }
+
+// SetAIStep implements DelayBased.
+func (s *Swift) SetAIStep(w float64) { s.ai = w }
+
+// BaseAIStep implements DelayBased.
+func (s *Swift) BaseAIStep() float64 { return s.cfg.AI }
+
+// SetTarget implements DelayBased: pins the target and disables scaling.
+func (s *Swift) SetTarget(t sim.Time) {
+	s.cfg.Target = t
+	s.cfg.TargetScaling = false
+}

@@ -1,0 +1,202 @@
+package core_test
+
+import (
+	"testing"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/core"
+	"prioplus/internal/sim"
+)
+
+func newPP(cfg core.Config) (*core.PrioPlus, *stubDriver) {
+	base := 12 * sim.Microsecond
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(base, 150))
+	pp := core.New(sw, cfg)
+	drv := newStubDriver(base)
+	pp.Start(drv)
+	return pp, drv
+}
+
+func baseCfg() core.Config {
+	plan := core.DefaultPlan(12 * sim.Microsecond)
+	return core.Config{
+		Channel:     plan.Channel(2),
+		WLSFraction: 0.25,
+		BaseRTTEps:  time1us(),
+		ConsecLimit: 2,
+	}
+}
+
+func time1us() sim.Time { return sim.Microsecond }
+
+func TestStoppedFlowIgnoresDataAcks(t *testing.T) {
+	cfg := baseCfg()
+	cfg.ProbeFirst = true
+	pp, drv := newPP(cfg)
+	if !pp.Stopped() {
+		t.Fatal("not stopped after probe-first start")
+	}
+	before := pp.Inner().CwndPackets()
+	// Residual data ACKs (from packets in flight before the yield) must
+	// not change the window or re-trigger probing.
+	probes := drv.probes
+	for i := 0; i < 5; i++ {
+		pp.OnAck(cc.Feedback{Now: drv.base, Delay: drv.base + 50*sim.Microsecond, AckedBytes: 1000, Seq: int64(i * 1000)})
+	}
+	if got := pp.Inner().CwndPackets(); got != before {
+		t.Errorf("cwnd changed %v -> %v while stopped", before, got)
+	}
+	if drv.probes != probes {
+		t.Errorf("extra probes scheduled from data ACKs while stopped")
+	}
+}
+
+func TestCardinalityEstimateAndCountdown(t *testing.T) {
+	cfg := baseCfg()
+	pp, drv := newPP(cfg)
+	pp.Inner().SetCwndPackets(10)
+	// Two consecutive over-limit ACKs with huge delay: estimate #flow =
+	// delay*rate/cwnd = 50us * 12.5 GB/s / 10 KB = 62.5.
+	over := cfg.Channel.Limit + 8*sim.Microsecond
+	_ = over
+	delay := drv.base + 38*sim.Microsecond // 50us absolute
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 0})
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 1000})
+	if !pp.Stopped() {
+		t.Fatal("flow did not yield after two over-limit ACKs")
+	}
+	if est := pp.FlowEstimate(); est < 40 || est > 90 {
+		t.Errorf("#flow estimate = %.1f, want ~62", est)
+	}
+	// Probe at base RTT resumes with W_LS/#flow and ticks the countdown.
+	pp.OnProbeAck(cc.Feedback{Now: drv.base, Delay: drv.base})
+	if pp.Stopped() {
+		t.Fatal("did not resume")
+	}
+	wls := 0.25 * 150.0
+	want := wls / pp.FlowEstimate()
+	if got := pp.Inner().CwndPackets(); got < want*0.8 || got > want*1.2 {
+		t.Errorf("resume cwnd = %.2f, want ~W_LS/#flow = %.2f", got, want)
+	}
+}
+
+func TestCountdownHalvesEstimateOnIdle(t *testing.T) {
+	cfg := baseCfg()
+	pp, drv := newPP(cfg)
+	pp.Inner().SetCwndPackets(2)
+	// Yield with a big estimate.
+	delay := drv.base + 38*sim.Microsecond
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 0})
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 1000})
+	first := pp.FlowEstimate()
+	if first < 100 {
+		t.Fatalf("estimate %.0f, want large", first)
+	}
+	// Resume, then observe many base-RTT RTTs: the countdown runs out and
+	// the estimate halves repeatedly (§4.3.1).
+	pp.OnProbeAck(cc.Feedback{Now: drv.base, Delay: drv.base})
+	seq := int64(10_000)
+	for i := 0; i < 200; i++ {
+		drv.sndNxt = seq + 1000
+		pp.OnAck(cc.Feedback{Now: drv.base, Delay: drv.base, AckedBytes: 1000, Seq: seq})
+		seq += 1000
+	}
+	if got := pp.FlowEstimate(); got > first/4 {
+		t.Errorf("estimate after sustained idle = %.1f, want halved well below %.0f", got, first)
+	}
+}
+
+func TestDisableCardinalityKeepsEstimateAtOne(t *testing.T) {
+	cfg := baseCfg()
+	cfg.DisableCardinality = true
+	pp, drv := newPP(cfg)
+	pp.Inner().SetCwndPackets(2)
+	delay := drv.base + 38*sim.Microsecond
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 0})
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 1000})
+	if got := pp.FlowEstimate(); got != 1 {
+		t.Errorf("estimate = %.1f with estimation disabled, want 1", got)
+	}
+	if !pp.Stopped() {
+		t.Error("yield behavior must be unaffected by the ablation flag")
+	}
+}
+
+func TestNaiveProbeSchedulesPerBaseRTT(t *testing.T) {
+	cfg := baseCfg()
+	cfg.ProbeFirst = true
+	cfg.NaiveProbe = true
+	pp, drv := newPP(cfg)
+	// Probe shows congestion: the naive schedule re-probes after exactly
+	// one base RTT regardless of how far above target the delay is.
+	pp.OnProbeAck(cc.Feedback{Now: drv.base, Delay: cfg.Channel.Limit + 100*sim.Microsecond})
+	if drv.lastProbeAfter != drv.base {
+		t.Errorf("naive re-probe after %v, want base RTT %v", drv.lastProbeAfter, drv.base)
+	}
+}
+
+func TestCollisionAvoidanceWaitsOutDrain(t *testing.T) {
+	cfg := baseCfg()
+	cfg.ProbeFirst = true
+	cfg.NoProbeJitter = true // deterministic for the assertion
+	pp, drv := newPP(cfg)
+	delay := cfg.Channel.Limit + 100*sim.Microsecond
+	pp.OnProbeAck(cc.Feedback{Now: drv.base, Delay: delay})
+	want := delay - cfg.Channel.Target
+	if drv.lastProbeAfter != want {
+		t.Errorf("re-probe after %v, want predicted drain time %v", drv.lastProbeAfter, want)
+	}
+}
+
+func TestWeightDefaultsToOne(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Weight = 0
+	pp, _ := newPP(cfg)
+	if pp.Stopped() {
+		t.Error("zero weight misconfigured the flow")
+	}
+}
+
+func TestAdaptiveIncreaseRaisesAIStep(t *testing.T) {
+	cfg := baseCfg()
+	pp, drv := newPP(cfg)
+	pp.Inner().SetCwndPackets(50)
+	baseAI := pp.Inner().AIStep()
+	// Delay between base and target, after an RTT boundary with
+	// dualRttPass true: the AI step must grow by (t-d)/d * cwnd.
+	d := drv.base + 4*sim.Microsecond
+	drv.sndNxt = 10_000
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: d, AckedBytes: 1000, Seq: 0})
+	if pp.AdaptiveInc == 0 {
+		t.Fatal("adaptive increase never fired")
+	}
+	raised := pp.Inner().AIStep()
+	if raised <= baseAI {
+		t.Errorf("AI step %v not raised above base %v", raised, baseAI)
+	}
+	// The next RTT boundary ends the dual-RTT period and restores the
+	// base AI step (Algorithm 1 lines 5-6).
+	drv.sndNxt = 20_000
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: d, AckedBytes: 1000, Seq: 10_000})
+	if got := pp.Inner().AIStep(); got != baseAI {
+		t.Errorf("AI step %v after the dual-RTT period, want restored base %v", got, baseAI)
+	}
+}
+
+func TestYieldCounterAndProbeCounter(t *testing.T) {
+	cfg := baseCfg()
+	pp, drv := newPP(cfg)
+	pp.Inner().SetCwndPackets(10)
+	delay := cfg.Channel.Limit + sim.Microsecond
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 0})
+	pp.OnAck(cc.Feedback{Now: drv.base, Delay: delay, AckedBytes: 1000, Seq: 1000})
+	if pp.Yields != 1 {
+		t.Errorf("Yields = %d, want 1", pp.Yields)
+	}
+	if pp.Probes == 0 {
+		t.Error("no probe scheduled on yield")
+	}
+	if drv.stops != 1 {
+		t.Errorf("StopSending called %d times, want 1", drv.stops)
+	}
+}

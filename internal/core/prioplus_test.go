@@ -1,0 +1,547 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/core"
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+func microCfg() topo.Config {
+	cfg := topo.DefaultConfig()
+	cfg.LinkDelay = 3 * sim.Microsecond
+	return cfg
+}
+
+func newStar(nHosts int) (*harness.Net, *sim.Engine) {
+	eng := sim.NewEngine()
+	net := harness.New(topo.Star(eng, nHosts, microCfg()), 23)
+	return net, eng
+}
+
+// prioPlusFor builds a PrioPlus+Swift controller for the given virtual
+// priority out of nprios, on the src->dst path.
+func prioPlusFor(net *harness.Net, src, dst, prio, nprios int) *core.PrioPlus {
+	base := net.Topo.BaseRTT(src, dst)
+	plan := core.DefaultPlan(base)
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(base, net.BDPPackets(src, dst)))
+	return core.New(sw, core.DefaultConfig(plan.Channel(prio), nprios))
+}
+
+// rateSampler measures per-key throughput over windows of the given width.
+type rateSampler struct {
+	m      *harness.ThroughputMeter
+	window sim.Time
+	last   map[int]int64
+	Rates  []map[int]float64 // Gb/s per key, one entry per window
+	Times  []sim.Time
+}
+
+func sampleRates(net *harness.Net, eng *sim.Engine, recv int, key func(*netsim.Packet) int,
+	window sim.Time, until sim.Time) *rateSampler {
+	rs := &rateSampler{m: harness.NewThroughputMeter(), window: window, last: map[int]int64{}}
+	net.SinkCounter(recv, rs.m, key)
+	var tick func()
+	tick = func() {
+		snap := rs.m.Snapshot()
+		rates := make(map[int]float64)
+		for k, v := range snap {
+			rates[k] = float64(v-rs.last[k]) * 8 / window.Seconds() / 1e9
+			rs.last[k] = v
+		}
+		rs.Rates = append(rs.Rates, rates)
+		rs.Times = append(rs.Times, eng.Now())
+		if eng.Now()+window <= until {
+			eng.After(window, tick)
+		}
+	}
+	eng.After(window, tick)
+	return rs
+}
+
+func (rs *rateSampler) between(from, to sim.Time, key int) (avg float64) {
+	n := 0
+	for i, t := range rs.Times {
+		if t > from && t <= to {
+			avg += rs.Rates[i][key]
+			n++
+		}
+	}
+	if n > 0 {
+		avg /= float64(n)
+	}
+	return avg
+}
+
+func TestChannelPlanMatchesPaper(t *testing.T) {
+	base := 12 * sim.Microsecond
+	plan := core.DefaultPlan(base)
+	// §6: "target delays are set from 32 us to 4 us plus base RTT" for
+	// eight priorities, i.e. priority index i gets base + (i+1)*4 us.
+	for i := 0; i < 12; i++ {
+		ch := plan.Channel(i)
+		wantTarget := base + sim.Time(i+1)*4*sim.Microsecond
+		wantLimit := wantTarget + 2400*sim.Nanosecond
+		if ch.Target != wantTarget {
+			t.Errorf("priority %d: D_target = %v, want %v", i, ch.Target, wantTarget)
+		}
+		if ch.Limit != wantLimit {
+			t.Errorf("priority %d: D_limit = %v, want %v", i, ch.Limit, wantLimit)
+		}
+	}
+}
+
+// Property: for any plan with positive A and B, channels are properly
+// ordered: D_limit^(i-1) < D_target^i < D_limit^i (§4.1's invariant).
+func TestChannelOrderingProperty(t *testing.T) {
+	f := func(a, b uint16, base uint32) bool {
+		plan := core.ChannelPlan{
+			BaseRTT:     sim.Time(base)*sim.Nanosecond + sim.Microsecond,
+			Fluctuation: sim.Time(a)*sim.Nanosecond + sim.Nanosecond,
+			Noise:       sim.Time(b)*sim.Nanosecond + sim.Nanosecond,
+		}
+		for i := 1; i < 16; i++ {
+			lo, hi := plan.Channel(i-1), plan.Channel(i)
+			if !(lo.Limit < hi.Target && hi.Target < hi.Limit) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConfigWLSBands(t *testing.T) {
+	plan := core.DefaultPlan(12 * sim.Microsecond)
+	// With 8 priorities: 6,7 high (W_LS=1.0, no probe); 4,5 middle (0.25);
+	// 0-3 low (0.125).
+	for i, want := range []float64{0.125, 0.125, 0.125, 0.125, 0.25, 0.25, 1.0, 1.0} {
+		cfg := core.DefaultConfig(plan.Channel(i), 8)
+		if cfg.WLSFraction != want {
+			t.Errorf("priority %d/8: WLSFraction = %v, want %v", i, cfg.WLSFraction, want)
+		}
+		if (cfg.WLSFraction == 1.0) != !cfg.ProbeFirst {
+			t.Errorf("priority %d/8: ProbeFirst = %v inconsistent with band", i, cfg.ProbeFirst)
+		}
+	}
+}
+
+func TestHighPreemptsLowStrictly(t *testing.T) {
+	// O1: a long-running low-priority flow must fully yield to a
+	// high-priority flow, then reclaim the bandwidth afterwards (O2).
+	net, eng := newStar(3)
+	low := prioPlusFor(net, 0, 2, 1, 8)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: low})
+
+	high := prioPlusFor(net, 1, 2, 6, 8)
+	highDone := sim.Time(0)
+	net.AddFlow(harness.Flow{
+		Src: 1, Dst: 2, Size: 12 << 20, Prio: 0, Algo: high,
+		StartAt:    sim.Millisecond,
+		OnComplete: func(sim.Time) { highDone = eng.Now() },
+	})
+
+	rs := sampleRates(net, eng, 2, func(p *netsim.Packet) int { return p.Src }, 50*sim.Microsecond, 5*sim.Millisecond)
+	eng.RunUntil(5 * sim.Millisecond)
+
+	if highDone == 0 {
+		t.Fatal("high-priority flow did not finish")
+	}
+	// Before the high flow: low uses the full link.
+	if got := rs.between(500*sim.Microsecond, sim.Millisecond, 0); got < 85 {
+		t.Errorf("low flow before contention: %.1f Gb/s, want ~100", got)
+	}
+	// During contention (after a short takeover transient): high gets
+	// nearly everything, low nearly nothing.
+	mid0, mid1 := sim.Millisecond+200*sim.Microsecond, highDone-100*sim.Microsecond
+	if got := rs.between(mid0, mid1, 1); got < 85 {
+		t.Errorf("high flow during contention: %.1f Gb/s, want ~100 (strict priority)", got)
+	}
+	if got := rs.between(mid0, mid1, 0); got > 8 {
+		t.Errorf("low flow during contention: %.1f Gb/s, want ~0 (must fully yield)", got)
+	}
+	// The high flow should finish close to its ideal FCT (12 MiB at
+	// 100 Gb/s is ~1.007 ms) despite starting into a busy link.
+	ideal := sim.FromSeconds(float64(12<<20) / (100e9 / 8))
+	if fct := highDone - sim.Millisecond; fct > ideal*13/10 {
+		t.Errorf("high-priority FCT = %v, want <= 1.3x ideal %v", fct, ideal)
+	}
+	// After the high flow ends: low reclaims the link quickly (O2).
+	if got := rs.between(highDone+300*sim.Microsecond, highDone+800*sim.Microsecond, 0); got < 80 {
+		t.Errorf("low flow after contention: %.1f Gb/s, want ~100 (work conservation)", got)
+	}
+	if low.Yields == 0 {
+		t.Error("low flow never yielded")
+	}
+	if low.Probes == 0 {
+		t.Error("low flow never probed")
+	}
+}
+
+func TestLowYieldsAndStops(t *testing.T) {
+	net, eng := newStar(3)
+	low := prioPlusFor(net, 0, 2, 0, 8)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: low})
+	high := prioPlusFor(net, 1, 2, 7, 8)
+	net.AddFlow(harness.Flow{Src: 1, Dst: 2, Size: 1 << 30, Prio: 0, Algo: high, StartAt: sim.Millisecond})
+	eng.RunUntil(2 * sim.Millisecond)
+	if !low.Stopped() {
+		t.Error("low-priority flow not in stopped state while high flow persists")
+	}
+	if high.Stopped() {
+		t.Error("high-priority flow should never stop")
+	}
+}
+
+func TestProbeBandwidthTiny(t *testing.T) {
+	// While yielded, a flow's probe traffic must be negligible (§4.2.1:
+	// one 64 B probe per ~base RTT at most, here further reduced by
+	// collision avoidance).
+	net, eng := newStar(4)
+	for i := 0; i < 2; i++ {
+		net.AddFlow(harness.Flow{Src: 0, Dst: 3, Size: 1 << 30, Prio: 0,
+			Algo: prioPlusFor(net, 0, 3, 0, 8)})
+	}
+	high := prioPlusFor(net, 1, 3, 7, 8)
+	net.AddFlow(harness.Flow{Src: 1, Dst: 3, Size: 1 << 30, Prio: 0, Algo: high, StartAt: 200 * sim.Microsecond})
+	var probeBytes int64
+	inner := net.Topo.Hosts[3].Sink
+	net.Topo.Hosts[3].Sink = func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Probe && eng.Now() > sim.Millisecond {
+			probeBytes += int64(pkt.Wire)
+		}
+		inner(pkt)
+	}
+	eng.RunUntil(3 * sim.Millisecond)
+	gbps := float64(probeBytes) * 8 / (2 * sim.Millisecond).Seconds() / 1e9
+	if gbps > 0.1 {
+		t.Errorf("probe traffic while yielded: %.3f Gb/s, want < 0.1 (paper: ~42 Mb/s per flow)", gbps)
+	}
+	if probeBytes == 0 {
+		t.Error("no probes at all: yielded flows would never detect the idle link")
+	}
+}
+
+func TestFilterAbsorbsSingleSpike(t *testing.T) {
+	// One above-limit noise spike must not make the flow yield; the
+	// paper's filter requires two consecutive measurements (§4.3.1).
+	net, eng := newStar(3)
+	spike := false
+	net.SetNoise(func() sim.Time {
+		if spike {
+			spike = false
+			return 30 * sim.Microsecond
+		}
+		return 0
+	})
+	pp := prioPlusFor(net, 0, 2, 2, 8)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: pp})
+	for i := 1; i <= 5; i++ {
+		eng.At(sim.Time(i)*200*sim.Microsecond, func() { spike = true })
+	}
+	eng.RunUntil(2 * sim.Millisecond)
+	if pp.Yields != 0 {
+		t.Errorf("flow yielded %d times on isolated noise spikes; filter should absorb them", pp.Yields)
+	}
+}
+
+func TestTwoConsecutiveSpikesTriggerYield(t *testing.T) {
+	net, eng := newStar(3)
+	spikes := 0
+	net.SetNoise(func() sim.Time {
+		if spikes > 0 {
+			spikes--
+			return 30 * sim.Microsecond
+		}
+		return 0
+	})
+	pp := prioPlusFor(net, 0, 2, 2, 8)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: pp})
+	eng.At(500*sim.Microsecond, func() { spikes = 5 })
+	eng.RunUntil(sim.Millisecond)
+	if pp.Yields == 0 {
+		t.Error("sustained above-limit delay did not trigger a yield")
+	}
+}
+
+func TestLinearStartBoundsQueue(t *testing.T) {
+	// A PrioPlus flow entering a busy link (probe + linear start /
+	// adaptive increase) must cause a much smaller queue transient than a
+	// line-rate-start newcomer would in the identical scenario (Table 2,
+	// Theorem 4.1).
+	run := func(lineRate bool) int {
+		net, eng := newStar(3)
+		net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0,
+			Algo: prioPlusFor(net, 0, 2, 3, 8)})
+		var algo cc.Algorithm
+		if lineRate {
+			// RDMA-style: a full-BDP window immediately.
+			base := net.Topo.BaseRTT(1, 2)
+			scfg := cc.DefaultSwiftConfig(base, net.BDPPackets(1, 2))
+			scfg.Target = core.DefaultPlan(base).Channel(3).Target
+			algo = cc.NewSwift(scfg)
+		} else {
+			algo = prioPlusFor(net, 1, 2, 3, 8)
+		}
+		net.AddFlow(harness.Flow{Src: 1, Dst: 2, Size: 1 << 30, Prio: 0,
+			Algo: algo, StartAt: sim.Millisecond})
+		maxq := 0
+		for i := 0; i < 100; i++ {
+			eng.At(sim.Millisecond+sim.Time(i)*2*sim.Microsecond, func() {
+				if q := net.Topo.Switches[0].Ports[2].TotalQueuedBytes(); q > maxq {
+					maxq = q
+				}
+			})
+		}
+		eng.RunUntil(sim.Millisecond + 200*sim.Microsecond)
+		return maxq
+	}
+	linear, blast := run(false), run(true)
+	if linear >= blast {
+		t.Errorf("linear-start peak queue %d B >= line-rate-start peak %d B", linear, blast)
+	}
+	// The transient above the incumbent's standing queue must be well
+	// below the +1 BDP a line-rate start injects.
+	standing := 200_000 // prio-3 target is base+16us = 200 KB at 100G
+	if linear-standing > 100_000 {
+		t.Errorf("linear-start transient %d B above standing queue, want < 100 KB", linear-standing)
+	}
+}
+
+func TestCardinalityEstimationContainsIncast(t *testing.T) {
+	// Fig 10b in miniature: many same-priority flows start at once. After
+	// the initial transient, the delay must stay near D_target and the
+	// flows must estimate a cardinality well above 1.
+	net, eng := newStar(41)
+	flows := make([]*core.PrioPlus, 40)
+	for i := range flows {
+		flows[i] = prioPlusFor(net, i, 40, 5, 8)
+		net.AddFlow(harness.Flow{Src: i, Dst: 40, Size: 1 << 30, Prio: 0, Algo: flows[i]})
+	}
+	base := net.Topo.BaseRTT(0, 40)
+	plan := core.DefaultPlan(base)
+	ch := plan.Channel(5)
+	var over, samples int
+	for i := 0; i < 300; i++ {
+		eng.At(sim.Millisecond+sim.Time(i)*5*sim.Microsecond, func() {
+			q := net.Topo.Switches[0].Ports[40].TotalQueuedBytes()
+			delay := base + sim.Time(float64(q)/(100e9/8)*1e12)
+			samples++
+			if delay > ch.Limit+2*sim.Microsecond {
+				over++
+			}
+		})
+	}
+	eng.RunUntil(sim.Millisecond + 1600*sim.Microsecond)
+	if frac := float64(over) / float64(samples); frac > 0.25 {
+		t.Errorf("delay above D_limit in %.0f%% of steady-state samples, want mostly contained", frac*100)
+	}
+	maxEst := 0.0
+	for _, f := range flows {
+		if f.FlowEstimate() > maxEst {
+			maxEst = f.FlowEstimate()
+		}
+	}
+	if maxEst < 4 {
+		t.Errorf("max cardinality estimate %.1f, want >> 1 with 40 flows", maxEst)
+	}
+}
+
+func TestDualRTTTakeoverFast(t *testing.T) {
+	// Fig 10c in miniature: 10 high-priority flows preempt 10 low-priority
+	// flows and should own the link within ~1 ms via adaptive increase.
+	net, eng := newStar(21)
+	for i := 0; i < 10; i++ {
+		net.AddFlow(harness.Flow{Src: i, Dst: 20, Size: 1 << 30, Prio: 0,
+			Algo: prioPlusFor(net, i, 20, 1, 8)})
+	}
+	for i := 10; i < 20; i++ {
+		net.AddFlow(harness.Flow{Src: i, Dst: 20, Size: 1 << 30, Prio: 0,
+			Algo: prioPlusFor(net, i, 20, 6, 8), StartAt: sim.Millisecond})
+	}
+	rs := sampleRates(net, eng, 20, func(p *netsim.Packet) int {
+		if p.Src >= 10 {
+			return 1
+		}
+		return 0
+	}, 100*sim.Microsecond, 4*sim.Millisecond)
+	eng.RunUntil(4 * sim.Millisecond)
+	if got := rs.between(2*sim.Millisecond, 4*sim.Millisecond, 1); got < 85 {
+		t.Errorf("high-priority group holds %.1f Gb/s after takeover, want ~100", got)
+	}
+	if got := rs.between(2*sim.Millisecond, 4*sim.Millisecond, 0); got > 8 {
+		t.Errorf("low-priority group still at %.1f Gb/s after takeover, want ~0", got)
+	}
+}
+
+func TestEightPrioritiesLadder(t *testing.T) {
+	// Fig 10a in miniature: 8 priorities (3 flows each) starting
+	// low-to-high at 300 us intervals. At any instant the highest active
+	// priority should hold the link.
+	// Displacing an adjacent-priority incumbent takes a few ms: the
+	// newcomer's start burst can trip its own channel limit (the standing
+	// queue plus its W_LS already exceeds D_limit), after which it
+	// re-enters through probe + one-packet resume and grows by
+	// (D_target-delay)/delay per two RTTs. The paper's Fig 10a uses 5 ms
+	// intervals, which is what this test uses.
+	net, eng := newStar(25)
+	interval := 5 * sim.Millisecond
+	perPrio := 3
+	for prio := 0; prio < 8; prio++ {
+		for j := 0; j < perPrio; j++ {
+			src := prio*perPrio + j
+			net.AddFlow(harness.Flow{
+				Src: src, Dst: 24, Size: 1 << 30, Prio: 0,
+				Algo:    prioPlusFor(net, src, 24, prio, 8),
+				StartAt: sim.Time(prio) * interval,
+			})
+		}
+	}
+	end := sim.Time(8) * interval
+	rs := sampleRates(net, eng, 24, func(p *netsim.Packet) int { return p.Src / perPrio }, 50*sim.Microsecond, end)
+	eng.RunUntil(end)
+	// In the settled tail of each interval, the newest (= highest)
+	// priority should dominate.
+	for prio := 1; prio < 8; prio++ {
+		from := sim.Time(prio)*interval + interval*3/4
+		to := sim.Time(prio+1) * interval
+		hi := rs.between(from, to, prio)
+		var rest float64
+		for p := 0; p < prio; p++ {
+			rest += rs.between(from, to, p)
+		}
+		if hi < 70 {
+			t.Errorf("priority %d holds %.1f Gb/s in its interval, want ~100", prio, hi)
+		}
+		if rest > 25 {
+			t.Errorf("lower priorities still at %.1f Gb/s during priority %d's interval", rest, prio)
+		}
+	}
+}
+
+func TestPrioPlusWithLEDBAT(t *testing.T) {
+	// §4.4/§6.2: PrioPlus integrates with LEDBAT too. High preempts low.
+	net, eng := newStar(3)
+	base := net.Topo.BaseRTT(0, 2)
+	plan := core.DefaultPlan(base)
+	mk := func(src, prio int) *core.PrioPlus {
+		l := cc.NewLEDBAT(cc.DefaultLEDBATConfig(base, net.BDPPackets(src, 2)))
+		return core.New(l, core.DefaultConfig(plan.Channel(prio), 8))
+	}
+	low := mk(0, 1)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: low})
+	net.AddFlow(harness.Flow{Src: 1, Dst: 2, Size: 1 << 30, Prio: 0, Algo: mk(1, 6), StartAt: sim.Millisecond})
+	rs := sampleRates(net, eng, 2, func(p *netsim.Packet) int { return p.Src }, 100*sim.Microsecond, 3*sim.Millisecond)
+	eng.RunUntil(3 * sim.Millisecond)
+	if got := rs.between(2*sim.Millisecond, 3*sim.Millisecond, 1); got < 80 {
+		t.Errorf("high LEDBAT flow at %.1f Gb/s, want ~100", got)
+	}
+	if got := rs.between(2*sim.Millisecond, 3*sim.Millisecond, 0); got > 10 {
+		t.Errorf("low LEDBAT flow at %.1f Gb/s, want ~0", got)
+	}
+}
+
+func TestDeterministicPrioPlusRerun(t *testing.T) {
+	run := func() sim.Time {
+		net, eng := newStar(3)
+		var fct sim.Time
+		net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0,
+			Algo: prioPlusFor(net, 0, 2, 0, 8)})
+		net.AddFlow(harness.Flow{Src: 1, Dst: 2, Size: 8 << 20, Prio: 0,
+			Algo: prioPlusFor(net, 1, 2, 7, 8), StartAt: 200 * sim.Microsecond,
+			OnComplete: func(d sim.Time) { fct = d }})
+		eng.RunUntil(4 * sim.Millisecond)
+		return fct
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Errorf("reruns diverged: %v vs %v", a, b)
+	}
+}
+
+func TestStoppedFlowReportsZeroWindow(t *testing.T) {
+	base := 12 * sim.Microsecond
+	plan := core.DefaultPlan(base)
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(base, 150))
+	pp := core.New(sw, core.Config{Channel: plan.Channel(0), WLSFraction: 0.125, ProbeFirst: true, BaseRTTEps: 500 * sim.Nanosecond, ConsecLimit: 2})
+	drv := newStubDriver(base)
+	pp.Start(drv)
+	if !pp.Stopped() {
+		t.Fatal("ProbeFirst flow should start stopped")
+	}
+	if pp.CwndBytes() != 0 {
+		t.Errorf("stopped flow CwndBytes = %v, want 0", pp.CwndBytes())
+	}
+	if drv.probes != 1 {
+		t.Errorf("probes scheduled = %d, want 1", drv.probes)
+	}
+	// Probe ACK at base RTT: resume with W_LS window.
+	pp.OnProbeAck(cc.Feedback{Now: base, Delay: base})
+	if pp.Stopped() {
+		t.Error("flow still stopped after clean probe")
+	}
+	if pp.CwndBytes() <= 0 {
+		t.Error("resumed flow has no window")
+	}
+}
+
+func TestProbeAboveLimitKeepsProbing(t *testing.T) {
+	base := 12 * sim.Microsecond
+	plan := core.DefaultPlan(base)
+	sw := cc.NewSwift(cc.DefaultSwiftConfig(base, 150))
+	pp := core.New(sw, core.Config{Channel: plan.Channel(0), WLSFraction: 0.125, ProbeFirst: true, BaseRTTEps: 500 * sim.Nanosecond, ConsecLimit: 2})
+	drv := newStubDriver(base)
+	pp.Start(drv)
+	pp.OnProbeAck(cc.Feedback{Now: base, Delay: plan.Channel(0).Limit + 10*sim.Microsecond})
+	if !pp.Stopped() {
+		t.Error("flow resumed despite probe showing congestion")
+	}
+	if drv.probes != 2 {
+		t.Errorf("probes = %d, want 2 (re-probe scheduled)", drv.probes)
+	}
+	// Probe between base and target: resume with a one-packet window.
+	pp.OnProbeAck(cc.Feedback{Now: base, Delay: base + 2*sim.Microsecond})
+	if pp.Stopped() {
+		t.Error("flow did not resume")
+	}
+	if got := pp.Inner().CwndPackets(); got != 1 {
+		t.Errorf("resume cwnd = %v packets, want 1 (conservative, §4.4)", got)
+	}
+}
+
+// stubDriver for direct algorithm tests.
+type stubDriver struct {
+	base           sim.Time
+	now            sim.Time
+	probes         int
+	stops          int
+	lastProbeAfter sim.Time
+	sndNxt         int64
+	rng            *rand.Rand
+}
+
+func newStubDriver(base sim.Time) *stubDriver {
+	return &stubDriver{base: base, rng: rand.New(rand.NewSource(5))}
+}
+
+func (d *stubDriver) Now() sim.Time         { return d.now }
+func (d *stubDriver) BaseRTT() sim.Time     { return d.base }
+func (d *stubDriver) LineRate() netsim.Rate { return 100 * netsim.Gbps }
+func (d *stubDriver) MTU() int              { return 1000 }
+func (d *stubDriver) SndNxt() int64         { return d.sndNxt }
+func (d *stubDriver) RemainingBytes() int64 { return 1 << 20 }
+func (d *stubDriver) StopSending()          { d.stops++ }
+func (d *stubDriver) ResumeSending()        {}
+func (d *stubDriver) SendProbeAfter(t sim.Time) {
+	d.probes++
+	d.lastProbeAfter = t
+}
+func (d *stubDriver) ResetRTO()        {}
+func (d *stubDriver) Rand() *rand.Rand { return d.rng }

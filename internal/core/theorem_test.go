@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Theorem 4.1 (Appendix C) claims the linear ramp minimizes the potential
+// buffer backlog when raising the rate from 0 to line rate in time T with
+// detection lag tau. The paper proves it for the aggregate functional
+// B = int_a int_t (r(t)-r(a)); numerically that functional is linear in r
+// and therefore degenerate in the interior, so these tests verify the two
+// claims that actually carry Table 2:
+//
+//  1. Linear start's backlog is far below exponential and line-rate
+//     starts' (the Table 2 ranking).
+//  2. The worst-case single-window backlog max_a b(a) — the "maximum
+//     extra buffer" column — is minimized by the linear ramp: any ramp
+//     reaching line rate in the same time has a window somewhere with at
+//     least the linear ramp's backlog.
+
+// windowBacklog computes b(a) = int_{a}^{a+tau} (r(t) - r(a)) dt for a
+// discretized rate curve, returning the max over a and the total over a.
+func windowBacklog(r []float64, tau int) (maxB, totalB float64) {
+	n := len(r) - 1
+	for a := 0; a+tau <= n; a++ {
+		inner := 0.0
+		for t := a; t < a+tau; t++ {
+			inner += (r[t]+r[t+1])/2 - r[a]
+		}
+		if inner > maxB {
+			maxB = inner
+		}
+		totalB += inner
+	}
+	return maxB, totalB
+}
+
+func linearRamp(n int) []float64 {
+	r := make([]float64, n+1)
+	for i := range r {
+		r[i] = float64(i) / float64(n)
+	}
+	return r
+}
+
+func TestTheorem41LinearBeatsAlternatives(t *testing.T) {
+	const n = 200
+	const tau = 25
+	maxLin, totLin := windowBacklog(linearRamp(n), tau)
+
+	// Analytic check: for slope 1/T, b(a) = tau^2/(2T) everywhere.
+	want := float64(tau) * float64(tau) / (2 * float64(n))
+	if maxLin < want*0.9 || maxLin > want*1.1 {
+		t.Errorf("linear max backlog %.4f, want ~tau^2/2T = %.4f", maxLin, want)
+	}
+
+	// Exponential (doubling) ramp: worse on both metrics.
+	exp := make([]float64, n+1)
+	for i := range exp {
+		exp[i] = 1.0 / float64(int(1)<<((n-i)/25))
+	}
+	exp[n] = 1
+	maxExp, totExp := windowBacklog(exp, tau)
+	if maxExp <= maxLin || totExp <= totLin {
+		t.Errorf("exponential backlog (max %.3f total %.3f) not worse than linear (max %.3f total %.3f)",
+			maxExp, totExp, maxLin, totLin)
+	}
+
+	// Line-rate step: worst.
+	step := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		step[i] = 1
+	}
+	// The "max extra buffer" column of Table 2: ~1 BDP (tau here) for
+	// line-rate, ~0.5 BDP for exponential, ~tau/2T of a BDP for linear.
+	maxStep, _ := windowBacklog(step, tau)
+	if !(maxLin < maxExp && maxExp < maxStep) {
+		t.Errorf("max-backlog ordering wrong: linear %.3f, exponential %.3f, line-rate %.3f",
+			maxLin, maxExp, maxStep)
+	}
+	if maxStep < float64(tau)*0.9 {
+		t.Errorf("line-rate max backlog %.3f, want ~tau (1 BDP analog)", maxStep)
+	}
+}
+
+func TestTheorem41LinearMinimizesWorstWindow(t *testing.T) {
+	const n = 120
+	const tau = 15
+	base := linearRamp(n)
+	maxLin, _ := windowBacklog(base, tau)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		// Random nonneg-rate curve from 0 to 1: perturb the linear ramp,
+		// clamp to [0,1], keep endpoints.
+		r := append([]float64(nil), base...)
+		for k := 0; k < 3; k++ {
+			i := 1 + rng.Intn(n-2)
+			j := 1 + rng.Intn(n-2)
+			if i > j {
+				i, j = j, i
+			}
+			eps := (rng.Float64() - 0.5) * 0.6
+			for m := i; m <= j; m++ {
+				r[m] += eps
+				if r[m] < 0 {
+					r[m] = 0
+				}
+				if r[m] > 1 {
+					r[m] = 1
+				}
+			}
+		}
+		if maxP, _ := windowBacklog(r, tau); maxP < maxLin-1e-9 {
+			t.Fatalf("trial %d: perturbed ramp's worst window %.6f < linear %.6f", trial, maxP, maxLin)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package exp
+
+import (
+	"math/rand"
+	"sort"
+
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/noise"
+	"prioplus/internal/sched"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+	"prioplus/internal/workload"
+)
+
+// CoflowConfig drives the coflow-scheduling scenario (§6.2, Figs 12a/b,
+// 15, 17, 18): Hadoop-style coflows plus file-request incast on a
+// non-blocking Clos, coflows grouped into 8 priorities by total size.
+type CoflowConfig struct {
+	Scheme   Scheme
+	Load     float64
+	Duration sim.Time
+	Drain    sim.Time
+	Seed     int64
+	NPrios   int
+	// Topology dimensions; zero values give the paper's 5-pod, 320-host
+	// fabric. Scale down for tests and benches.
+	Pods, Edges, HostsPerEdge, Aggs, Cores int
+	// Lossy disables PFC and relies on IRN loss recovery (Fig 17).
+	Lossy bool
+	// NoPriority runs the scheme with a single priority group (the
+	// speedup baseline: Swift with default parameters, no scheduling).
+	NoPriority bool
+	// Trace, when non-nil, replaces the synthetic workload with explicit
+	// coflows (e.g. parsed from the public Facebook trace format with
+	// workload.ParseCoflowTrace).
+	Trace []workload.Coflow
+}
+
+// DefaultCoflowConfig returns a reduced-scale version of the paper's
+// coflow scenario.
+func DefaultCoflowConfig(s Scheme, load float64) CoflowConfig {
+	return CoflowConfig{
+		Scheme:   s,
+		Load:     load,
+		Duration: 30 * sim.Millisecond,
+		Drain:    100 * sim.Millisecond,
+		Seed:     1,
+		NPrios:   8,
+		Pods:     2, Edges: 4, HostsPerEdge: 4, Aggs: 2, Cores: 4,
+	}
+}
+
+// PaperScale switches the config to the paper's full 320-host fabric.
+func (c CoflowConfig) PaperScale() CoflowConfig {
+	c.Pods, c.Edges, c.HostsPerEdge, c.Aggs, c.Cores = 5, 8, 8, 2, 8
+	return c
+}
+
+// CoflowResult summarizes one run: per-priority-group mean and P99 CCT.
+type CoflowResult struct {
+	Scheme    string
+	GroupMean []sim.Time // indexed by priority (0 = lowest = largest)
+	GroupP99  []sim.Time
+	Mean      sim.Time
+	P99       sim.Time
+	Completed int
+	Launched  int
+}
+
+// RunCoflow runs one scheme over the coflow workload.
+func RunCoflow(cfg CoflowConfig) CoflowResult {
+	eng := sim.NewEngine()
+	tc := topo.DefaultConfig()
+	tc.LinkDelay = 1 * sim.Microsecond
+	tc.Seed = cfg.Seed
+	tc.FabricRate = 400 * netsim.Gbps
+	// The paper sets the buffer directly to 32 MB in this scenario.
+	tc.Buffer = netsim.DefaultBufferConfig()
+	tc.Buffer.TotalBytes = 32 << 20
+	cfg.Scheme.Fabric(&tc, cfg.NPrios)
+	if cfg.Lossy {
+		tc.Buffer.PFCEnabled = false
+	}
+	nw := topo.Clos(eng, cfg.Pods, cfg.Edges, cfg.HostsPerEdge, cfg.Aggs, cfg.Cores, tc)
+	net := harness.New(nw, cfg.Seed)
+	cfg.Scheme.Post(net)
+	nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), 1)
+	net.SetNoise(nm.Sample)
+
+	coflows := cfg.Trace
+	if coflows == nil {
+		rng := rand.New(rand.NewSource(cfg.Seed + 13))
+		wcfg := workload.DefaultCoflowConfig(len(nw.Hosts), cfg.Load, float64(tc.HostRate), cfg.Duration, rng)
+		coflows = workload.Coflows(wcfg)
+	}
+
+	totals := make([]int64, len(coflows))
+	for i, cf := range coflows {
+		totals[i] = cf.Total
+	}
+	groups := sched.NewSizeGroups(cfg.NPrios, totals)
+
+	type cfState struct {
+		remaining int
+		arrival   sim.Time
+		prio      int
+		cct       sim.Time
+	}
+	states := make([]*cfState, len(coflows))
+	res := CoflowResult{Scheme: cfg.Scheme.Name}
+	for i, cf := range coflows {
+		cf := cf
+		// Group assignment is recorded for stats regardless of scheme;
+		// the no-priority baseline transmits everything at priority 0.
+		group := groups.PriorityFor(cf.Total)
+		prio := group
+		if cfg.NoPriority {
+			prio = 0
+		}
+		st := &cfState{remaining: len(cf.Flows), arrival: cf.Arrival, prio: group}
+		states[i] = st
+		queue := cfg.Scheme.QueueFor(prio, cfg.NPrios, tc.Queues)
+		res.Launched++
+		for _, f := range cf.Flows {
+			f := f
+			base := nw.BaseRTT(f.Src, f.Dst)
+			env := FlowEnv{
+				Prio: prio, NPrios: cfg.NPrios, BaseRTT: base,
+				BDPPkts: tc.HostRate.BDP(base) / netsim.DefaultMTU,
+				Size:    f.Size, Ideal: IdealFCT(f.Size, tc.HostRate, base), Now: cf.Arrival,
+			}
+			net.AddFlow(harness.Flow{
+				Src: f.Src, Dst: f.Dst, Size: f.Size, Prio: queue,
+				Algo:    cfg.Scheme.NewAlgo(env),
+				StartAt: cf.Arrival,
+				OnComplete: func(sim.Time) {
+					st.remaining--
+					if st.remaining == 0 {
+						st.cct = eng.Now() - st.arrival
+					}
+				},
+			})
+		}
+	}
+	eng.RunUntil(cfg.Duration + cfg.Drain)
+
+	perGroup := make([][]sim.Time, cfg.NPrios)
+	var all []sim.Time
+	for _, st := range states {
+		if st.remaining > 0 {
+			continue
+		}
+		res.Completed++
+		perGroup[st.prio] = append(perGroup[st.prio], st.cct)
+		all = append(all, st.cct)
+	}
+	res.GroupMean = make([]sim.Time, cfg.NPrios)
+	res.GroupP99 = make([]sim.Time, cfg.NPrios)
+	for p, ccts := range perGroup {
+		if len(ccts) == 0 {
+			continue
+		}
+		sort.Slice(ccts, func(i, j int) bool { return ccts[i] < ccts[j] })
+		var sum sim.Time
+		for _, c := range ccts {
+			sum += c
+		}
+		res.GroupMean[p] = sum / sim.Time(len(ccts))
+		res.GroupP99[p] = ccts[int(0.99*float64(len(ccts)-1))]
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum sim.Time
+		for _, c := range all {
+			sum += c
+		}
+		res.Mean = sum / sim.Time(len(all))
+		res.P99 = all[int(0.99*float64(len(all)-1))]
+	}
+	return res
+}
+
+// CoflowSpeedups compares schemes against the no-priority Swift baseline,
+// reporting mean (or P99, for Fig 15) CCT speedups for the high four
+// priority groups, the low four, and overall — the shape of Figs 12a/b.
+type CoflowSpeedups struct {
+	Scheme  string
+	High4   float64
+	Low4    float64
+	Overall float64
+}
+
+func speedupOf(base, r CoflowResult, tail bool) CoflowSpeedups {
+	pick := func(res CoflowResult, lo, hi int) sim.Time {
+		var sum sim.Time
+		var n int
+		src := res.GroupMean
+		if tail {
+			src = res.GroupP99
+		}
+		for p := lo; p <= hi; p++ {
+			if src[p] > 0 {
+				sum += src[p]
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / sim.Time(n)
+	}
+	np := len(r.GroupMean)
+	ratio := func(b, v sim.Time) float64 {
+		if v <= 0 || b <= 0 {
+			return 0
+		}
+		return float64(b) / float64(v)
+	}
+	baseAll, rAll := base.Mean, r.Mean
+	if tail {
+		baseAll, rAll = base.P99, r.P99
+	}
+	return CoflowSpeedups{
+		Scheme:  r.Scheme,
+		High4:   ratio(pick(base, np/2, np-1), pick(r, np/2, np-1)),
+		Low4:    ratio(pick(base, 0, np/2-1), pick(r, 0, np/2-1)),
+		Overall: ratio(baseAll, rAll),
+	}
+}
+
+// Fig12Coflow runs the coflow comparison at one load: baseline Swift (no
+// priorities), Physical+Swift, and PrioPlus+Swift. With lossy=true it
+// reproduces Fig 17. extra appends further schemes (Fig 18: HPCC,
+// Physical w/o CC).
+func Fig12Coflow(base CoflowConfig, tail bool, extra ...Scheme) []CoflowSpeedups {
+	bcfg := base
+	bcfg.Scheme = SwiftPhysical(8)
+	bcfg.NoPriority = true
+	baseline := RunCoflow(bcfg)
+
+	schemes := append([]Scheme{SwiftPhysical(8), PrioPlusSwift()}, extra...)
+	var out []CoflowSpeedups
+	for _, s := range schemes {
+		cfg := base
+		cfg.Scheme = s
+		out = append(out, speedupOf(baseline, RunCoflow(cfg), tail))
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"testing"
+
+	"prioplus/internal/sim"
+)
+
+// TestRDMABaselineSchemes runs DCQCN and TIMELY through the small
+// flow-scheduling scenario: they must complete the workload with sane
+// slowdowns (they are extra baselines beyond the paper's set).
+func TestRDMABaselineSchemes(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("flow-scheduling run in -short mode")
+	}
+	for _, s := range []Scheme{DCQCNPhysical(8), TIMELYPhysical(8)} {
+		cfg := DefaultFlowSchedConfig(s, 4)
+		cfg.K = 4
+		cfg.Duration = 2 * sim.Millisecond
+		cfg.Drain = 12 * sim.Millisecond
+		r := RunFlowSched(cfg)
+		if r.Flows.Count() < r.Launched*9/10 {
+			t.Errorf("%s: only %d/%d flows completed", s.Name, r.Flows.Count(), r.Launched)
+		}
+		if sd := r.Flows.MeanSlowdown(); sd <= 1 || sd > 60 {
+			t.Errorf("%s: mean slowdown %.1f out of sane range", s.Name, sd)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package netsim
+
+import "prioplus/internal/sim"
+
+// BufferConfig sizes a switch's shared packet buffer and its admission
+// policies. The defaults mirror the paper's setup: dynamic-threshold shared
+// buffer [Choudhury-Hahne], PFC with per-(port,priority) headroom for
+// lossless priorities.
+type BufferConfig struct {
+	// TotalBytes is the physical buffer size. The paper sets this either
+	// from a buffer/bandwidth ratio (Fig 11: 4.4 MB/Tbps, Tomahawk4) or
+	// directly (32 MB for the coflow and ML scenarios).
+	TotalBytes int
+
+	// DTAlpha is the dynamic-threshold coefficient: a queue may accept a
+	// packet while its length is below DTAlpha * (free shared buffer).
+	DTAlpha float64
+
+	// PFCEnabled turns on lossless operation for the first LosslessPrios
+	// priorities.
+	PFCEnabled bool
+
+	// LosslessPrios is the number of lossless priority classes. Headroom
+	// is reserved per port per lossless priority.
+	LosslessPrios int
+
+	// HeadroomBytes is the PFC headroom reserved per (port, lossless
+	// priority): enough buffer to absorb in-flight data after a pause is
+	// sent (2x link BDP plus two MTU-sized frames is typical).
+	HeadroomBytes int
+
+	// PFCAlpha is the dynamic XOFF coefficient: an ingress (port,prio)
+	// class is paused when its occupancy exceeds PFCAlpha * (free shared
+	// buffer). Resume happens at half the pause point.
+	PFCAlpha float64
+
+	// PerQueueMin is a per-egress-queue minimum guarantee admitted even
+	// when the shared pool is exhausted, as in real shared-buffer chips.
+	// Without it, headroom reservations for many lossless priorities can
+	// consume the entire shared pool and starve the (lossy) ACK queue,
+	// deadlocking the network instead of merely degrading it.
+	PerQueueMin int
+
+	// HeadroomFree models the paper's ideal physical priority (Physical*):
+	// PFC headroom still absorbs in-flight data but is not reserved out of
+	// the shared pool, as if the switch had unlimited extra buffer for it.
+	HeadroomFree bool
+
+	// ECNKMin/ECNKMax/ECNPMax configure RED-style ECN marking on egress
+	// queues. With KMin == KMax the marking is a step at KMin (DCTCP).
+	// KMin <= 0 disables marking.
+	ECNKMin int
+	ECNKMax int
+	ECNPMax float64
+
+	// ECNKByVPrio, when non-nil, gives each virtual priority its own step
+	// marking threshold, indexed by Packet.VPrio (out-of-range uses
+	// ECNKMin). This is the paper's Appendix B direction: priority-
+	// dependent ECN marking lets ECN-based CCs approximate virtual
+	// priority in one queue — at the cost of a switch change, which is
+	// why the paper leaves it as future work.
+	ECNKByVPrio []int
+}
+
+// DefaultBufferConfig returns a lossless 32 MB shared-buffer configuration
+// with 8 lossless priorities, matching the paper's coflow/ML scenarios.
+func DefaultBufferConfig() BufferConfig {
+	return BufferConfig{
+		TotalBytes:    32 << 20,
+		DTAlpha:       1,
+		PFCEnabled:    true,
+		LosslessPrios: 8,
+		HeadroomBytes: 100 << 10,
+		PFCAlpha:      1.0 / 8,
+		PerQueueMin:   16 << 10,
+		ECNKMin:       0,
+		ECNKMax:       0,
+		ECNPMax:       1,
+	}
+}
+
+// sharedBuffer tracks switch buffer occupancy. Lossless traffic is
+// accounted per ingress (port, priority) class; each class may spill into
+// its reserved headroom after its pause threshold is crossed.
+type sharedBuffer struct {
+	cfg    BufferConfig
+	shared int // bytes available to the shared pool
+	used   int // shared pool occupancy
+
+	// Per ingress (port, prio) state, indexed [port][prio].
+	ingBytes [][]int
+	hdrBytes [][]int
+	paused   [][]bool
+
+	Drops      int64
+	DropBytes  int64
+	PausesSent int64
+}
+
+func newSharedBuffer(cfg BufferConfig, nports, nprios int) *sharedBuffer {
+	b := &sharedBuffer{cfg: cfg}
+	reserved := 0
+	if cfg.PFCEnabled && !cfg.HeadroomFree {
+		lossless := min(cfg.LosslessPrios, nprios)
+		reserved = nports * lossless * cfg.HeadroomBytes
+	}
+	b.shared = cfg.TotalBytes - reserved
+	if b.shared < 0 {
+		b.shared = 0
+	}
+	b.ingBytes = make([][]int, nports)
+	b.hdrBytes = make([][]int, nports)
+	b.paused = make([][]bool, nports)
+	for i := 0; i < nports; i++ {
+		b.ingBytes[i] = make([]int, nprios)
+		b.hdrBytes[i] = make([]int, nprios)
+		b.paused[i] = make([]bool, nprios)
+	}
+	return b
+}
+
+// SharedFree returns the free bytes in the shared pool.
+func (b *sharedBuffer) SharedFree() int { return b.shared - b.used }
+
+// Used returns the shared-pool occupancy in bytes.
+func (b *sharedBuffer) Used() int { return b.used }
+
+func (b *sharedBuffer) lossless(prio int) bool {
+	return b.cfg.PFCEnabled && prio < b.cfg.LosslessPrios
+}
+
+// xoff returns the dynamic pause threshold for an ingress class.
+func (b *sharedBuffer) xoff() int {
+	t := int(b.cfg.PFCAlpha * float64(b.SharedFree()))
+	const floor = 2 * (DefaultMTU + HeaderBytes)
+	if t < floor {
+		t = floor
+	}
+	return t
+}
+
+// admitLossless charges an arriving packet to ingress class (port, prio).
+// It returns whether the packet is admitted and whether a PFC pause should
+// be sent upstream.
+func (b *sharedBuffer) admitLossless(port, prio, size int) (admitted, sendPause bool) {
+	ing := b.ingBytes[port][prio] + size
+	if b.ingBytes[port][prio] <= b.xoff() && b.used+size <= b.shared {
+		b.used += size
+	} else {
+		// Over threshold (or shared pool exhausted): spill into headroom.
+		if b.hdrBytes[port][prio]+size > b.cfg.HeadroomBytes {
+			b.Drops++
+			b.DropBytes += int64(size)
+			return false, false
+		}
+		b.hdrBytes[port][prio] += size
+	}
+	b.ingBytes[port][prio] = ing
+	if !b.paused[port][prio] && ing > b.xoff() {
+		b.paused[port][prio] = true
+		b.PausesSent++
+		return true, true
+	}
+	return true, false
+}
+
+// admitLossy applies dynamic-threshold admission against the egress queue
+// length, with a per-queue minimum guarantee below which packets are
+// always admitted.
+func (b *sharedBuffer) admitLossy(egressQLen, size int) bool {
+	if egressQLen+size <= b.cfg.PerQueueMin {
+		b.used += size
+		return true
+	}
+	limit := b.cfg.DTAlpha * float64(b.SharedFree())
+	if float64(egressQLen+size) > limit || b.used+size > b.shared {
+		b.Drops++
+		b.DropBytes += int64(size)
+		return false
+	}
+	b.used += size
+	return true
+}
+
+// release uncharges a departing packet and reports whether a PFC resume
+// should be sent upstream for its ingress class.
+func (b *sharedBuffer) release(port, prio, size int, lossless bool) (sendResume bool) {
+	if !lossless {
+		b.used -= size
+		return false
+	}
+	b.ingBytes[port][prio] -= size
+	// Headroom is drained first so the class re-enters the shared pool.
+	if h := b.hdrBytes[port][prio]; h > 0 {
+		if size <= h {
+			b.hdrBytes[port][prio] -= size
+		} else {
+			b.hdrBytes[port][prio] = 0
+			b.used -= size - h
+		}
+	} else {
+		b.used -= size
+	}
+	if b.paused[port][prio] && b.ingBytes[port][prio] <= b.xoff()/2 {
+		b.paused[port][prio] = false
+		return true
+	}
+	return false
+}
+
+// ecnMark decides whether an ECT data packet should be CE-marked given the
+// egress queue length after enqueue. rnd is a uniform [0,1) sample used for
+// RED-style probabilistic marking.
+func (cfg *BufferConfig) ecnMark(qlen int, vprio int16, rnd float64) bool {
+	if cfg.ECNKByVPrio != nil && int(vprio) >= 0 && int(vprio) < len(cfg.ECNKByVPrio) {
+		return qlen > cfg.ECNKByVPrio[vprio]
+	}
+	if cfg.ECNKMin <= 0 {
+		return false
+	}
+	if qlen <= cfg.ECNKMin {
+		return false
+	}
+	if qlen >= cfg.ECNKMax || cfg.ECNKMax <= cfg.ECNKMin {
+		return true
+	}
+	p := cfg.ECNPMax * float64(qlen-cfg.ECNKMin) / float64(cfg.ECNKMax-cfg.ECNKMin)
+	return rnd < p
+}
+
+// PauseDuration is unused by the simulator (pause/resume is explicit), but
+// the quanta-based PFC watchdog interval is exposed for tests that verify
+// pauses cannot deadlock silently.
+const PauseDuration = 65535 * 512 * sim.Picosecond

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"testing"
+
+	"prioplus/internal/sim"
+)
+
+func TestPacketTypeString(t *testing.T) {
+	cases := map[PacketType]string{
+		Data: "data", Ack: "ack", Probe: "probe", ProbeAck: "probeack", PacketType(9): "unknown",
+	}
+	for pt, want := range cases {
+		if got := pt.String(); got != want {
+			t.Errorf("PacketType(%d).String() = %q, want %q", pt, got, want)
+		}
+	}
+}
+
+func TestECNPerVPrioThresholds(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := lossyConfig()
+	cfg.ECNKByVPrio = []int{2000, 20_000} // vprio 0 marks early, vprio 1 late
+	_, hosts := star(eng, 3, 10*Gbps, 0, 1, cfg)
+	marked := map[int16]int{}
+	total := map[int16]int{}
+	hosts[2].Sink = func(pkt *Packet) {
+		total[pkt.VPrio]++
+		if pkt.CE {
+			marked[pkt.VPrio]++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		for v := int16(0); v <= 1; v++ {
+			d := NewData(int64(v)+1, int(v), 2, 0, int64(i)*1000, 1000)
+			d.ECT = true
+			d.VPrio = v
+			hosts[v].Send(d)
+		}
+	}
+	eng.Run()
+	if marked[0] == 0 {
+		t.Error("low vprio never marked despite queue above its threshold")
+	}
+	if marked[1] != 0 {
+		t.Errorf("high vprio marked %d times below its threshold", marked[1])
+	}
+}
+
+func TestPFCHeadroomExhaustionDrops(t *testing.T) {
+	// With near-zero headroom, in-flight data after a pause must be
+	// dropped: lossless operation genuinely requires the headroom.
+	eng := sim.NewEngine()
+	cfg := DefaultBufferConfig()
+	cfg.TotalBytes = 32 * 1048
+	cfg.LosslessPrios = 1
+	cfg.HeadroomBytes = 1048 // one packet of headroom: not enough
+	cfg.PFCAlpha = 0.03
+	sw, hosts := star(eng, 3, 100*Gbps, 2*sim.Microsecond, 1, cfg)
+	hosts[2].Sink = func(*Packet) {}
+	for i := 0; i < 200; i++ {
+		hosts[0].Send(NewData(1, 0, 2, 0, int64(i)*1000, 1000))
+		hosts[1].Send(NewData(2, 1, 2, 0, int64(i)*1000, 1000))
+	}
+	eng.Run()
+	if sw.Drops() == 0 {
+		t.Error("no drops despite exhausted headroom on a long line")
+	}
+}
+
+func TestPauseResumeTrafficContinues(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultBufferConfig()
+	cfg.TotalBytes = 48 * 1048
+	cfg.LosslessPrios = 1
+	cfg.HeadroomBytes = 16 * 1048
+	cfg.PFCAlpha = 0.1
+	sw, hosts := star(eng, 3, 10*Gbps, 100*sim.Nanosecond, 1, cfg)
+	got := 0
+	hosts[2].Sink = func(*Packet) { got++ }
+	const n = 300
+	for i := 0; i < n; i++ {
+		hosts[0].Send(NewData(1, 0, 2, 0, int64(i)*1000, 1000))
+		hosts[1].Send(NewData(2, 1, 2, 0, int64(i)*1000, 1000))
+	}
+	eng.Run()
+	if got != 2*n {
+		t.Fatalf("delivered %d/%d under pause/resume cycling", got, 2*n)
+	}
+	if sw.PausesSent() < 2 {
+		t.Errorf("expected repeated pause/resume cycles, got %d transitions", sw.PausesSent())
+	}
+	// All pauses must have been released: sender NICs unpaused at the end.
+	if hosts[0].NIC.Paused(0) || hosts[1].NIC.Paused(0) {
+		t.Error("sender NIC left paused after the buffer drained")
+	}
+}
+
+func TestINTOnlyOnECTData(t *testing.T) {
+	eng := sim.NewEngine()
+	_, hosts := star(eng, 3, 10*Gbps, 0, 1, lossyConfig())
+	var withINT, withoutINT int
+	hosts[2].Sink = func(pkt *Packet) {
+		if len(pkt.INT) > 0 {
+			withINT++
+		} else {
+			withoutINT++
+		}
+	}
+	// Enable INT on every port.
+	for _, h := range hosts {
+		h.NIC.INTEnabled = true
+	}
+	ect := NewData(1, 0, 2, 0, 0, 1000)
+	ect.ECT = true
+	hosts[0].Send(ect)
+	hosts[0].Send(NewData(2, 0, 2, 0, 0, 1000)) // not ECT
+	eng.Run()
+	if withINT != 1 || withoutINT != 1 {
+		t.Errorf("INT stamped on %d packets, absent on %d; want 1/1", withINT, withoutINT)
+	}
+}
+
+func TestINTRecordsPerHop(t *testing.T) {
+	eng := sim.NewEngine()
+	sw, hosts := star(eng, 3, 10*Gbps, 0, 1, lossyConfig())
+	_ = sw
+	for _, h := range hosts {
+		h.NIC.INTEnabled = true
+	}
+	for _, p := range sw.Ports {
+		p.INTEnabled = true
+	}
+	var hops int
+	hosts[2].Sink = func(pkt *Packet) { hops = len(pkt.INT) }
+	d := NewData(1, 0, 2, 0, 0, 1000)
+	d.ECT = true
+	hosts[0].Send(d)
+	eng.Run()
+	// NIC + switch egress = 2 stamps.
+	if hops != 2 {
+		t.Errorf("INT records = %d, want 2 (one per hop)", hops)
+	}
+}
+
+func TestPortClampsPriority(t *testing.T) {
+	eng := sim.NewEngine()
+	_, hosts := star(eng, 3, 10*Gbps, 0, 2, lossyConfig())
+	got := 0
+	hosts[2].Sink = func(pkt *Packet) { got++ }
+	// Priority far beyond the queue count must not panic.
+	hosts[0].Send(NewData(1, 0, 2, 99, 0, 1000))
+	hosts[0].Send(NewData(2, 0, 2, -3, 0, 1000))
+	eng.Run()
+	if got != 2 {
+		t.Errorf("delivered %d, want 2 (clamped priorities)", got)
+	}
+}
+
+func TestAckEchoFields(t *testing.T) {
+	data := NewData(7, 1, 2, 0, 5000, 1000)
+	data.SentAt = 42 * sim.Microsecond
+	data.CE = true
+	ack := NewAck(data, 3, 6000)
+	if ack.Src != 2 || ack.Dst != 1 {
+		t.Error("ACK addressing not reversed")
+	}
+	if ack.SentAt != data.SentAt {
+		t.Error("ACK does not echo the data timestamp")
+	}
+	if !ack.CE {
+		t.Error("ACK does not echo CE")
+	}
+	if ack.Seq != 5000 || ack.AckSeq != 6000 {
+		t.Error("ACK sequence fields wrong")
+	}
+	if ack.Prio != 3 {
+		t.Error("ACK priority not applied")
+	}
+}

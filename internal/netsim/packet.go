@@ -1,0 +1,171 @@
+// Package netsim models a packet-switched data-center network: hosts,
+// links, and switches with multi-queue ports, shared buffers with dynamic
+// thresholds, per-priority PFC flow control, ECN marking, and optional INT
+// telemetry. It is the substrate on which the congestion-control algorithms
+// in internal/cc and internal/core are evaluated, standing in for the ns-3
+// simulator used by the PrioPlus paper.
+package netsim
+
+import (
+	"prioplus/internal/sim"
+)
+
+// Rate is a link speed in bits per second.
+type Rate int64
+
+// Common link speeds.
+const (
+	Gbps Rate = 1e9
+	Mbps Rate = 1e6
+)
+
+// Serialize returns the time to put the given number of bytes on the wire.
+func (r Rate) Serialize(bytes int) sim.Time {
+	return sim.Time(int64(bytes) * 8 * int64(sim.Second) / int64(r) / 1)
+}
+
+// BytesPerSec returns the rate in bytes per second.
+func (r Rate) BytesPerSec() float64 { return float64(r) / 8 }
+
+// BDP returns the bandwidth-delay product in bytes for a round-trip time.
+func (r Rate) BDP(rtt sim.Time) float64 {
+	return float64(r) / 8 * rtt.Seconds()
+}
+
+// PacketType distinguishes the packet kinds the simulator forwards.
+type PacketType uint8
+
+// Packet kinds.
+const (
+	Data PacketType = iota
+	Ack
+	Probe
+	ProbeAck
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Probe:
+		return "probe"
+	case ProbeAck:
+		return "probeack"
+	}
+	return "unknown"
+}
+
+// Standard sizes, following the paper's setup (1 KB MTU, per-packet ACKs).
+const (
+	DefaultMTU  = 1000 // application payload bytes per full data packet
+	HeaderBytes = 48   // L2..L4 header overhead on data packets
+	AckBytes    = 64   // ACK and probe wire size
+)
+
+// INTRecord is one hop's in-band network telemetry, stamped at dequeue by
+// switches with INT enabled. HPCC uses it to compute per-link utilization.
+type INTRecord struct {
+	QLen    int      // egress queue length after this packet left, bytes
+	TxBytes int64    // cumulative bytes transmitted by the egress port
+	TS      sim.Time // dequeue timestamp
+	Rate    Rate     // egress link rate
+}
+
+// Packet is a simulated packet. One Packet object travels hop by hop;
+// switches never copy it.
+type Packet struct {
+	Type   PacketType
+	FlowID int64
+	Src    int // source host ID
+	Dst    int // destination host ID
+	Prio   int // physical priority queue index; larger = higher priority
+	// VPrio is the flow's virtual priority, carried in the header (as a
+	// DSCP-like tag) but not used for queueing. The ECN-based PrioPlus
+	// extension (Appendix B) marks by VPrio within one physical queue.
+	VPrio   int16
+	Seq     int64
+	AckSeq  int64 // cumulative bytes received, on ACKs
+	Payload int   // application payload bytes (data packets)
+	Wire    int   // total bytes on the wire
+	SentAt  sim.Time
+	ECT     bool // ECN-capable transport
+	CE      bool // congestion experienced mark
+	Hash    uint32
+	INT     []INTRecord
+}
+
+// NewData returns a data packet of the given payload size.
+func NewData(flow int64, src, dst, prio int, seq int64, payload int) *Packet {
+	return &Packet{
+		Type:    Data,
+		FlowID:  flow,
+		Src:     src,
+		Dst:     dst,
+		Prio:    prio,
+		Seq:     seq,
+		Payload: payload,
+		Wire:    payload + HeaderBytes,
+		Hash:    flowHash(flow),
+	}
+}
+
+// NewAck returns an ACK for the given data packet, addressed back to its
+// sender at priority ackPrio.
+func NewAck(data *Packet, ackPrio int, cum int64) *Packet {
+	return &Packet{
+		Type:   Ack,
+		FlowID: data.FlowID,
+		Src:    data.Dst,
+		Dst:    data.Src,
+		Prio:   ackPrio,
+		Seq:    data.Seq,
+		AckSeq: cum,
+		Wire:   AckBytes,
+		SentAt: data.SentAt, // echo the sender's hardware timestamp
+		CE:     data.CE,
+		INT:    data.INT,
+		Hash:   flowHash(data.FlowID) ^ 0x9e3779b9,
+	}
+}
+
+// NewProbe returns a minimal probe packet used by PrioPlus to sample the
+// path delay while transmission is suspended.
+func NewProbe(flow int64, src, dst, prio int) *Packet {
+	return &Packet{
+		Type:   Probe,
+		FlowID: flow,
+		Src:    src,
+		Dst:    dst,
+		Prio:   prio,
+		Wire:   AckBytes,
+		Hash:   flowHash(flow),
+	}
+}
+
+// NewProbeAck returns the echo of a probe.
+func NewProbeAck(probe *Packet, ackPrio int) *Packet {
+	return &Packet{
+		Type:   ProbeAck,
+		FlowID: probe.FlowID,
+		Src:    probe.Dst,
+		Dst:    probe.Src,
+		Prio:   ackPrio,
+		Wire:   AckBytes,
+		SentAt: probe.SentAt,
+		Hash:   flowHash(probe.FlowID) ^ 0x9e3779b9,
+	}
+}
+
+// flowHash is a 64-to-32-bit mix used for ECMP path selection, so that a
+// flow's packets always take the same path.
+func flowHash(flow int64) uint32 {
+	x := uint64(flow)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x)
+}

@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"prioplus/internal/sim"
+)
+
+// Device is anything that terminates a link: a Host or a Switch.
+type Device interface {
+	// HandlePacket is called when a packet fully arrives on local port in.
+	HandlePacket(pkt *Packet, in *Port)
+	// HandlePause is called when a PFC pause or resume frame arrives for
+	// the given priority. on=true pauses the local egress queue.
+	HandlePause(prio int, on bool, in *Port)
+	// DeviceName identifies the device in diagnostics.
+	DeviceName() string
+}
+
+// TxItem is a packet queued for transmission, together with the buffer
+// accounting the owning switch must release at dequeue. Plain fields
+// instead of a callback: one closure allocation per packet per hop would
+// dominate large runs.
+type TxItem struct {
+	Pkt      *Packet
+	Sw       *Switch // nil for host NICs
+	InPort   int32
+	QPrio    int16
+	Lossless bool
+}
+
+type pktQueue struct {
+	items []TxItem
+	head  int
+	bytes int
+}
+
+func (q *pktQueue) push(it TxItem) {
+	q.items = append(q.items, it)
+	q.bytes += it.Pkt.Wire
+}
+
+func (q *pktQueue) pop() TxItem {
+	it := q.items[q.head]
+	q.items[q.head] = TxItem{}
+	q.head++
+	q.bytes -= it.Pkt.Wire
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return it
+}
+
+func (q *pktQueue) empty() bool { return q.head == len(q.items) }
+func (q *pktQueue) len() int    { return len(q.items) - q.head }
+
+// Port is one side of a full-duplex cable. It transmits to Peer and
+// receives whatever Peer transmits. Each port owns per-priority egress
+// queues served in strict-priority order (higher index first), honoring
+// per-priority PFC pause state.
+type Port struct {
+	Eng       *sim.Engine
+	Owner     Device
+	Peer      *Port
+	Rate      Rate
+	PropDelay sim.Time
+	Index     int // position within Owner's port list
+
+	// Jitter, when non-nil, adds per-packet non-congestive delay to the
+	// propagation of every packet leaving this port (used for Fig 13).
+	Jitter func() sim.Time
+
+	// INTEnabled makes this port stamp telemetry on ECT data packets at
+	// dequeue, for HPCC.
+	INTEnabled bool
+
+	// HWTimestamp makes this port overwrite SentAt on outgoing data and
+	// probe packets at the start of serialization, modeling NIC hardware
+	// TX timestamps that exclude the sender's own NIC backlog from the
+	// measured RTT (§4.3.2). Enabled on host NICs; combined with paced
+	// senders the hidden local backlog stays bounded.
+	HWTimestamp bool
+
+	queues    []pktQueue
+	paused    []bool
+	sending   bool
+	startTxFn func() // preallocated; avoids a closure per transmission
+
+	// Counters.
+	TxBytes   int64
+	TxPackets int64
+	PausedFor sim.Time // cumulative time with at least one priority paused
+	pausedAt  sim.Time
+	npaused   int
+}
+
+// NewPort creates a port with nqueues strict-priority egress queues.
+func NewPort(eng *sim.Engine, owner Device, rate Rate, prop sim.Time, nqueues int) *Port {
+	p := &Port{
+		Eng:       eng,
+		Owner:     owner,
+		Rate:      rate,
+		PropDelay: prop,
+		queues:    make([]pktQueue, nqueues),
+		paused:    make([]bool, nqueues),
+	}
+	p.startTxFn = p.startTx
+	return p
+}
+
+// Connect wires two ports as the ends of one cable.
+func Connect(a, b *Port) {
+	a.Peer = b
+	b.Peer = a
+}
+
+// NumQueues returns the number of priority queues on the port.
+func (p *Port) NumQueues() int { return len(p.queues) }
+
+// QueueBytes returns the occupancy of priority queue q in bytes.
+func (p *Port) QueueBytes(q int) int { return p.queues[q].bytes }
+
+// TotalQueuedBytes returns the occupancy across all priority queues.
+func (p *Port) TotalQueuedBytes() int {
+	total := 0
+	for i := range p.queues {
+		total += p.queues[i].bytes
+	}
+	return total
+}
+
+// clampPrio maps a packet priority onto the port's queue range. A host NIC
+// with a single queue accepts packets of any priority.
+func (p *Port) clampPrio(prio int) int {
+	if prio >= len(p.queues) {
+		return len(p.queues) - 1
+	}
+	if prio < 0 {
+		return 0
+	}
+	return prio
+}
+
+// Enqueue places a packet on the egress queue for its priority and starts
+// the transmitter if idle.
+func (p *Port) Enqueue(it TxItem) {
+	q := p.clampPrio(it.Pkt.Prio)
+	p.queues[q].push(it)
+	if !p.sending {
+		p.startTx()
+	}
+}
+
+// SetPaused updates PFC pause state for one priority queue.
+func (p *Port) SetPaused(prio int, on bool) {
+	q := p.clampPrio(prio)
+	if p.paused[q] == on {
+		return
+	}
+	p.paused[q] = on
+	if on {
+		if p.npaused == 0 {
+			p.pausedAt = p.Eng.Now()
+		}
+		p.npaused++
+	} else {
+		p.npaused--
+		if p.npaused == 0 {
+			p.PausedFor += p.Eng.Now() - p.pausedAt
+		}
+		if !p.sending {
+			p.startTx()
+		}
+	}
+}
+
+// Paused reports the pause state of one priority queue.
+func (p *Port) Paused(prio int) bool { return p.paused[p.clampPrio(prio)] }
+
+func (p *Port) startTx() {
+	// Strict priority: highest-index unpaused non-empty queue first.
+	for q := len(p.queues) - 1; q >= 0; q-- {
+		if p.paused[q] || p.queues[q].empty() {
+			continue
+		}
+		it := p.queues[q].pop()
+		p.sending = true
+		p.transmit(it, q)
+		return
+	}
+	p.sending = false
+}
+
+func (p *Port) transmit(it TxItem, q int) {
+	pkt := it.Pkt
+	ser := p.Rate.Serialize(pkt.Wire)
+	p.TxBytes += int64(pkt.Wire)
+	p.TxPackets++
+	if it.Sw != nil {
+		it.Sw.releaseItem(it)
+	}
+	if p.HWTimestamp && (pkt.Type == Data || pkt.Type == Probe) {
+		pkt.SentAt = p.Eng.Now()
+	}
+	if p.INTEnabled && pkt.Type == Data && pkt.ECT {
+		pkt.INT = append(pkt.INT, INTRecord{
+			QLen:    p.queues[q].bytes,
+			TxBytes: p.TxBytes,
+			TS:      p.Eng.Now(),
+			Rate:    p.Rate,
+		})
+	}
+	prop := p.PropDelay
+	if p.Jitter != nil {
+		prop += p.Jitter()
+	}
+	peer := p.Peer
+	p.Eng.Post(ser+prop, func() {
+		peer.Owner.HandlePacket(pkt, peer)
+	})
+	p.Eng.Post(ser, p.startTxFn)
+}
+
+// SendPause delivers a PFC pause/resume frame to the peer device. PFC
+// frames are generated by the MAC and bypass the egress queues; they are
+// modeled as a fixed-size control frame that does not occupy the port.
+func (p *Port) SendPause(prio int, on bool) {
+	peer := p.Peer
+	d := p.Rate.Serialize(AckBytes) + p.PropDelay
+	p.Eng.Post(d, func() {
+		peer.Owner.HandlePause(prio, on, peer)
+	})
+}

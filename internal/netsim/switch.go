@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prioplus/internal/sim"
+)
+
+// Switch is a shared-buffer, output-queued switch with strict-priority
+// scheduling per port, dynamic-threshold buffer admission, optional PFC,
+// and optional ECN marking and INT stamping.
+type Switch struct {
+	Eng    *sim.Engine
+	Name   string
+	Ports  []*Port
+	Buffer BufferConfig
+
+	// Routes maps a destination host ID to the candidate egress port
+	// indexes (ECMP set). Built by internal/topo.
+	Routes map[int][]int32
+
+	buf *sharedBuffer
+	rng *rand.Rand
+
+	// Counters.
+	RxPackets   int64
+	NoRouteDrop int64
+	ECNMarks    int64
+}
+
+// NewSwitch creates a switch; ports are added with AddPort before Finalize.
+func NewSwitch(eng *sim.Engine, name string, cfg BufferConfig, rng *rand.Rand) *Switch {
+	return &Switch{
+		Eng:    eng,
+		Name:   name,
+		Buffer: cfg,
+		Routes: make(map[int][]int32),
+		rng:    rng,
+	}
+}
+
+// AddPort creates and registers an egress port with nqueues priority
+// queues, returning it for wiring with Connect.
+func (s *Switch) AddPort(rate Rate, prop sim.Time, nqueues int) *Port {
+	p := NewPort(s.Eng, s, rate, prop, nqueues)
+	p.Index = len(s.Ports)
+	s.Ports = append(s.Ports, p)
+	return p
+}
+
+// Finalize allocates buffer accounting once all ports exist. It must be
+// called before traffic flows.
+func (s *Switch) Finalize() {
+	nprios := 1
+	for _, p := range s.Ports {
+		nprios = max(nprios, p.NumQueues())
+	}
+	s.buf = newSharedBuffer(s.Buffer, len(s.Ports), nprios)
+}
+
+// DeviceName implements Device.
+func (s *Switch) DeviceName() string { return s.Name }
+
+// Drops returns the number of packets dropped for buffer exhaustion.
+func (s *Switch) Drops() int64 { return s.buf.Drops }
+
+// PausesSent returns the number of PFC pause transitions generated.
+func (s *Switch) PausesSent() int64 { return s.buf.PausesSent }
+
+// BufferUsed returns the shared-pool occupancy in bytes.
+func (s *Switch) BufferUsed() int { return s.buf.Used() }
+
+// HandlePause implements Device: pause/resume our egress queue on the port
+// the frame arrived on.
+func (s *Switch) HandlePause(prio int, on bool, in *Port) {
+	in.SetPaused(prio, on)
+}
+
+// HandlePacket implements Device: route, admit, mark, enqueue.
+func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
+	s.RxPackets++
+	ports, ok := s.Routes[pkt.Dst]
+	if !ok || len(ports) == 0 {
+		s.NoRouteDrop++
+		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.Name, pkt.Dst))
+	}
+	out := s.Ports[ports[int(pkt.Hash)%len(ports)]]
+	prio := out.clampPrio(pkt.Prio)
+	inPort := in.Index
+	size := pkt.Wire
+
+	lossless := s.buf.lossless(prio)
+	if lossless {
+		admitted, sendPause := s.buf.admitLossless(inPort, prio, size)
+		if sendPause {
+			in.SendPause(prio, true)
+		}
+		if !admitted {
+			return
+		}
+	} else {
+		if !s.buf.admitLossy(out.QueueBytes(prio), size) {
+			return
+		}
+	}
+
+	if pkt.Type == Data && pkt.ECT && !pkt.CE {
+		if s.Buffer.ecnMark(out.QueueBytes(prio)+size, pkt.VPrio, s.rng.Float64()) {
+			pkt.CE = true
+			s.ECNMarks++
+		}
+	}
+
+	out.Enqueue(TxItem{
+		Pkt:      pkt,
+		Sw:       s,
+		InPort:   int32(inPort),
+		QPrio:    int16(prio),
+		Lossless: lossless,
+	})
+}
+
+// releaseItem returns a departing packet's bytes to the shared buffer and
+// sends a PFC resume if its ingress class dropped below the XON point.
+func (s *Switch) releaseItem(it TxItem) {
+	if s.buf.release(int(it.InPort), int(it.QPrio), it.Pkt.Wire, it.Lossless) {
+		s.Ports[it.InPort].SendPause(int(it.QPrio), false)
+	}
+}

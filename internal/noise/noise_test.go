@@ -1,0 +1,86 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prioplus/internal/sim"
+)
+
+func TestLongTailMatchesPaperStatistics(t *testing.T) {
+	// The paper's Fig 7: mean ~0.3 us, <0.1% above 1 us, P99.85 ~0.8 us.
+	m := NewLongTail(rand.New(rand.NewSource(1)), 1)
+	st := Measure(m, 200_000)
+	if st.Mean < 200*sim.Nanosecond || st.Mean > 400*sim.Nanosecond {
+		t.Errorf("mean = %v, want ~0.3us", st.Mean)
+	}
+	if st.FracGt1 > 0.002 {
+		t.Errorf("P(noise > 1us) = %.4f, want < 0.002", st.FracGt1)
+	}
+	if st.P9985 < 500*sim.Nanosecond || st.P9985 > 1200*sim.Nanosecond {
+		t.Errorf("P99.85 = %v, want ~0.8us", st.P9985)
+	}
+}
+
+func TestLongTailScales(t *testing.T) {
+	m1 := Measure(NewLongTail(rand.New(rand.NewSource(2)), 1), 50_000)
+	m4 := Measure(NewLongTail(rand.New(rand.NewSource(2)), 4), 50_000)
+	ratio := float64(m4.Mean) / float64(m1.Mean)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("scale-4 mean ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	width := 14 * sim.Microsecond
+	m := NewUniform(rand.New(rand.NewSource(3)), width)
+	for i := 0; i < 10_000; i++ {
+		s := m.Sample()
+		if s < 0 || s >= width {
+			t.Fatalf("uniform sample %v out of [0, %v)", s, width)
+		}
+	}
+}
+
+func TestUniformZeroWidth(t *testing.T) {
+	m := NewUniform(rand.New(rand.NewSource(4)), 0)
+	if got := m.Sample(); got != 0 {
+		t.Errorf("zero-width uniform sample = %v, want 0", got)
+	}
+}
+
+func TestNoneIsZero(t *testing.T) {
+	if None.Sample() != 0 {
+		t.Error("None model returned nonzero noise")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	pts := CDF(NewLongTail(rand.New(rand.NewSource(5)), 1), 20_000, 50)
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] <= pts[i-1][1] {
+			t.Fatalf("CDF not monotone at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Errorf("CDF does not reach 1: %v", pts[len(pts)-1][1])
+	}
+}
+
+// Property: noise is always non-negative (it is additive: measured delay
+// can only exceed true delay, §4.3.2).
+func TestNoiseNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, scale uint8) bool {
+		m := NewLongTail(rand.New(rand.NewSource(seed)), float64(scale%8)+1)
+		for i := 0; i < 100; i++ {
+			if m.Sample() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

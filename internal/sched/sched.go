@@ -1,0 +1,79 @@
+// Package sched implements the priority-assignment policies the paper uses
+// to approximate size-based scheduling algorithms: flows (or coflows) are
+// split into N groups by size, with smaller sizes mapped to higher
+// priorities (§6.2: "we categorize all flows into groups by size,
+// assigning higher priority to the smaller-sized flow group").
+package sched
+
+import "sort"
+
+// SizeGroups maps sizes to priorities using fixed boundaries: a size below
+// Bounds[i] gets priority NPrios-1-i (smaller size -> higher priority).
+type SizeGroups struct {
+	NPrios int
+	Bounds []int64 // ascending, length NPrios-1
+}
+
+// NewSizeGroups derives group boundaries from quantiles of an observed
+// size sample so each group carries roughly equal flow count.
+func NewSizeGroups(nprios int, sample []int64) SizeGroups {
+	sorted := append([]int64(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	g := SizeGroups{NPrios: nprios}
+	for i := 1; i < nprios; i++ {
+		idx := i * len(sorted) / nprios
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		g.Bounds = append(g.Bounds, sorted[idx])
+	}
+	return g
+}
+
+// NewByteGroups derives boundaries so each group carries roughly equal
+// bytes, which keeps per-priority load balanced (large flows get their own
+// low priorities).
+func NewByteGroups(nprios int, sample []int64) SizeGroups {
+	sorted := append([]int64(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total int64
+	for _, s := range sorted {
+		total += s
+	}
+	g := SizeGroups{NPrios: nprios}
+	var acc int64
+	next := 1
+	for _, s := range sorted {
+		acc += s
+		for next < nprios && acc >= int64(next)*total/int64(nprios) {
+			g.Bounds = append(g.Bounds, s)
+			next++
+		}
+	}
+	for len(g.Bounds) < nprios-1 {
+		g.Bounds = append(g.Bounds, sorted[len(sorted)-1])
+	}
+	return g
+}
+
+// PriorityFor returns the priority for a flow of the given size: the
+// smallest-size group gets NPrios-1 (highest), the largest gets 0.
+func (g SizeGroups) PriorityFor(size int64) int {
+	i := sort.Search(len(g.Bounds), func(i int) bool { return size <= g.Bounds[i] })
+	return g.NPrios - 1 - i
+}
+
+// PhysicalQueueFor maps a virtual priority in [0, NPrios) onto one of
+// nQueues physical queues, squashing evenly when NPrios > nQueues. This is
+// how the "Physical" baselines run when the scheduler wants more
+// priorities than the switch offers.
+func PhysicalQueueFor(prio, nprios, nQueues int) int {
+	if nprios <= nQueues {
+		return prio
+	}
+	q := prio * nQueues / nprios
+	if q >= nQueues {
+		q = nQueues - 1
+	}
+	return q
+}

@@ -1,0 +1,156 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it; a zero Event must not be constructed directly.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once popped
+	canceled bool
+	recycle  bool // fire-and-forget: no caller holds a reference
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// not usable; create one with NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	stopped   bool
+	processed uint64
+	free      []*Event // recycled fire-and-forget events
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a logic error in the caller.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. A negative d is
+// treated as zero.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Post schedules fn to run d after the current time without returning the
+// event, allowing the engine to recycle it. Use for fire-and-forget
+// scheduling on hot paths (per-packet events); events scheduled this way
+// cannot be canceled.
+func (e *Engine) Post(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{at: e.now + d, seq: e.seq, fn: fn, recycle: true}
+	} else {
+		ev = &Event{at: e.now + d, seq: e.seq, fn: fn, recycle: true}
+	}
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Cancel removes ev from the schedule. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+}
+
+// Stop makes the current Run or RunUntil return after the executing event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the schedule is empty or Stop is called.
+func (e *Engine) Run() { e.RunUntil(Time(1<<63 - 1)) }
+
+// RunUntil executes events with timestamps <= end, then sets the clock to
+// end (unless the run was stopped early or ran out of events beyond end).
+func (e *Engine) RunUntil(end Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.processed++
+		fn := next.fn
+		if next.recycle {
+			next.fn = nil
+			e.free = append(e.free, next)
+		}
+		fn()
+	}
+	if !e.stopped && e.now < end && end < Time(1<<63-1) {
+		e.now = end
+	}
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{80 * Nanosecond, "80ns"},
+		{12 * Microsecond, "12us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", got)
+	}
+	if got := FromSeconds(0.5); got != 500*Millisecond {
+		t.Errorf("FromSeconds(0.5) = %v, want 500ms", got)
+	}
+	if got := (250 * Nanosecond).Micros(); got != 0.25 {
+		t.Errorf("Micros = %v, want 0.25", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Errorf("Now() = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineSimultaneousFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 9*Microsecond {
+		t.Errorf("Now() = %v, want 9us", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(Microsecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelFromEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.At(Microsecond, func() { e.Cancel(victim) })
+	victim = e.At(2*Microsecond, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Error("event canceled mid-run still fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{Microsecond, 2 * Microsecond, 3 * Microsecond} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(2 * Microsecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 2*Microsecond {
+		t.Errorf("Now() = %v, want 2us", e.Now())
+	}
+	e.RunUntil(10 * Microsecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after second run, want 3", len(fired))
+	}
+	if e.Now() != 10*Microsecond {
+		t.Errorf("Now() = %v, want 10us (clock advances to end)", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*Microsecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 (stopped after second event)", count)
+	}
+	// The remaining events are still pending and can be resumed.
+	e.Run()
+	if count != 5 {
+		t.Errorf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeAfterClamped(t *testing.T) {
+	e := NewEngine()
+	e.At(Microsecond, func() {
+		e.After(-5*Microsecond, func() {
+			if e.Now() != Microsecond {
+				t.Errorf("negative After fired at %v, want 1us", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and all events fire exactly once.
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d) * Nanosecond
+			e.At(d, func() { fired = append(fired, d) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnginePostRecycles(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	// Interleave Post and Run so events recycle; all must fire exactly
+	// once and in order.
+	var last Time = -1
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			e.Post(Time(i)*Nanosecond, func() {
+				fired++
+				if e.Now() < last {
+					t.Fatal("recycled event fired out of order")
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+	}
+	if fired != 1000 {
+		t.Errorf("fired %d events, want 1000", fired)
+	}
+}
+
+func TestEnginePostAndAtInterleaved(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Post(2*Nanosecond, func() { order = append(order, 2) })
+	ev := e.At(1*Nanosecond, func() { order = append(order, 1) })
+	e.Post(3*Nanosecond, func() { order = append(order, 3) })
+	_ = ev
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64)*Nanosecond, fn)
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + 64*Nanosecond)
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,55 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every other component of the simulator: network ports
+// schedule packet serialization and propagation, transports schedule pacing
+// and retransmission timers, and experiments schedule flow arrivals. Events
+// with equal timestamps execute in scheduling order, which makes every run
+// bit-for-bit reproducible for a fixed seed.
+package sim
+
+import "fmt"
+
+// Time is a simulated point in time or duration, in picoseconds.
+//
+// Picosecond resolution keeps packet serialization times exact: one byte at
+// 100 Gb/s is 80 ps, so no link speed used in the experiments accumulates
+// rounding drift. An int64 of picoseconds covers about 106 days of simulated
+// time, far beyond any experiment in this repository.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the duration in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the duration in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the duration in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with a unit chosen by magnitude.
+func (t Time) String() string {
+	switch abs := max(t, -t); {
+	case abs < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case abs < Microsecond:
+		return fmt.Sprintf("%.3gns", float64(t)/float64(Nanosecond))
+	case abs < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Micros())
+	case abs < Second:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// FromSeconds converts a float duration in seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }

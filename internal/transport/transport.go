@@ -1,0 +1,604 @@
+// Package transport implements the end-host transport the congestion
+// controllers drive: per-flow window/pacing-based senders with per-packet
+// ACKs, RTT measurement with injectable noise, PrioPlus probe support,
+// retransmission timeouts, and IRN-style selective loss recovery for the
+// lossy experiments.
+package transport
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+)
+
+// Stack is the per-host transport: it owns every sending and receiving
+// flow terminating at its host and is installed as the host's packet sink.
+type Stack struct {
+	Eng  *sim.Engine
+	Host *netsim.Host
+
+	// AckPrio is the physical priority for ACKs. The paper's default is
+	// the highest queue (reverse congestion avoidance, §4.4); set
+	// AckPrioData to use the data packet's own priority (PrioPlus*).
+	AckPrio     int
+	AckPrioData bool
+
+	// Noise, when non-nil, returns an additive delay-measurement noise
+	// sample applied to every RTT measurement at this host.
+	Noise func() sim.Time
+
+	senders map[int64]*Sender
+	recvs   map[int64]*recvState
+}
+
+// NewStack creates a transport stack bound to host h and installs it as
+// the host's sink. ACKs default to the highest priority queue.
+func NewStack(eng *sim.Engine, h *netsim.Host) *Stack {
+	st := &Stack{
+		Eng:     eng,
+		Host:    h,
+		AckPrio: h.NIC.NumQueues() - 1,
+		senders: make(map[int64]*Sender),
+		recvs:   make(map[int64]*recvState),
+	}
+	h.Sink = st.handle
+	return st
+}
+
+type recvState struct {
+	cum int64
+	ooo map[int64]int
+}
+
+func (st *Stack) handle(pkt *netsim.Packet) {
+	switch pkt.Type {
+	case netsim.Data:
+		st.onData(pkt)
+	case netsim.Ack:
+		if s, ok := st.senders[pkt.FlowID]; ok {
+			s.onAck(pkt)
+		}
+	case netsim.Probe:
+		prio := st.AckPrio
+		if st.AckPrioData {
+			prio = pkt.Prio
+		}
+		st.Host.Send(netsim.NewProbeAck(pkt, prio))
+	case netsim.ProbeAck:
+		if s, ok := st.senders[pkt.FlowID]; ok {
+			s.onProbeAck(pkt)
+		}
+	}
+}
+
+func (st *Stack) onData(pkt *netsim.Packet) {
+	r, ok := st.recvs[pkt.FlowID]
+	if !ok {
+		r = &recvState{}
+		st.recvs[pkt.FlowID] = r
+	}
+	switch {
+	case pkt.Seq == r.cum:
+		r.cum += int64(pkt.Payload)
+		for {
+			n, ok := r.ooo[r.cum]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.cum)
+			r.cum += int64(n)
+		}
+	case pkt.Seq > r.cum:
+		if r.ooo == nil {
+			r.ooo = make(map[int64]int)
+		}
+		r.ooo[pkt.Seq] = pkt.Payload
+	}
+	prio := st.AckPrio
+	if st.AckPrioData {
+		prio = pkt.Prio
+	}
+	st.Host.Send(netsim.NewAck(pkt, prio, r.cum))
+}
+
+// measureRTT converts an echoed send timestamp into a (noisy) RTT sample.
+func (st *Stack) measureRTT(sentAt sim.Time) sim.Time {
+	rtt := st.Eng.Now() - sentAt
+	if st.Noise != nil {
+		rtt += st.Noise()
+	}
+	return rtt
+}
+
+// FlowSpec describes one sender-side flow.
+type FlowSpec struct {
+	ID      int64
+	Dst     int
+	Size    int64 // bytes; must be > 0
+	Prio    int   // physical priority for data packets
+	VPrio   int16 // virtual priority carried in the header (DSCP-like)
+	MTU     int   // payload bytes per packet (0 = netsim.DefaultMTU)
+	BaseRTT sim.Time
+	Algo    cc.Algorithm
+	// OnComplete fires when the last byte is cumulatively acknowledged.
+	OnComplete func(fct sim.Time)
+	// Rand seeds the flow's private randomness (probe jitter). Required.
+	Rand *rand.Rand
+	// RTOMin bounds the retransmission timer (0 = 100 us).
+	RTOMin sim.Time
+	// Paced spreads the whole window across the RTT instead of sending
+	// ack-clocked bursts (sub-MTU windows are always paced).
+	Paced bool
+	// MinRateGap caps the pacing gap, implementing the minimum send rate
+	// CCs keep so congestion signals arrive periodically (§3.3: 100 Mb/s,
+	// one full packet every ~80 us). 0 uses the default; negative
+	// disables the floor.
+	MinRateGap sim.Time
+}
+
+// Sender is the sending half of one flow. It implements cc.Driver.
+type Sender struct {
+	st   *Stack
+	spec FlowSpec
+	mtu  int
+
+	started  bool
+	finished bool
+	stopped  bool // CC-requested suspension (PrioPlus yield)
+
+	sndNxt      int64
+	sndUna      int64
+	unacked     map[int64]*segment // sent and not yet acknowledged
+	minOut      int64              // lower bound on the smallest unacked seq
+	lossScanned int64              // high-water mark of the loss-detection walk
+	retxq       []int64            // sequences to retransmit, FIFO
+	inflight    int
+
+	srtt        sim.Time
+	nextPacedAt sim.Time
+
+	paceEv      *sim.Event
+	rtoEv       *sim.Event
+	rtoDeadline sim.Time
+	probeEv     *sim.Event
+
+	startAt sim.Time
+
+	// Counters.
+	Retransmits int64
+	RTOs        int64
+	ProbesSent  int64
+}
+
+// NewFlow registers a sender-side flow on the stack. Call Start to begin.
+func (st *Stack) NewFlow(spec FlowSpec) *Sender {
+	if spec.Size <= 0 {
+		panic("transport: flow size must be positive")
+	}
+	if spec.MTU == 0 {
+		spec.MTU = netsim.DefaultMTU
+	}
+	if spec.Rand == nil {
+		panic("transport: FlowSpec.Rand is required for determinism")
+	}
+	if spec.RTOMin == 0 {
+		spec.RTOMin = 100 * sim.Microsecond
+	}
+	if spec.MinRateGap == 0 {
+		spec.MinRateGap = 80 * sim.Microsecond
+	}
+	if _, dup := st.senders[spec.ID]; dup {
+		panic(fmt.Sprintf("transport: duplicate flow id %d", spec.ID))
+	}
+	s := &Sender{
+		st:      st,
+		spec:    spec,
+		mtu:     spec.MTU,
+		unacked: make(map[int64]*segment),
+	}
+	st.senders[spec.ID] = s
+	return s
+}
+
+// Start begins transmission (or probing, if the CC asks for it).
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.startAt = s.st.Eng.Now()
+	s.spec.Algo.Start(s)
+	if !s.stopped {
+		s.trySend()
+	}
+	s.armRTO()
+}
+
+// --- cc.Driver implementation ---
+
+// Now implements cc.Driver.
+func (s *Sender) Now() sim.Time { return s.st.Eng.Now() }
+
+// BaseRTT implements cc.Driver.
+func (s *Sender) BaseRTT() sim.Time { return s.spec.BaseRTT }
+
+// LineRate implements cc.Driver.
+func (s *Sender) LineRate() netsim.Rate { return s.st.Host.LineRate() }
+
+// MTU implements cc.Driver.
+func (s *Sender) MTU() int { return s.mtu }
+
+// SndNxt implements cc.Driver.
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// RemainingBytes implements cc.Driver.
+func (s *Sender) RemainingBytes() int64 { return s.spec.Size - s.sndUna }
+
+// StopSending implements cc.Driver: suspend data transmission.
+func (s *Sender) StopSending() {
+	s.stopped = true
+	if s.paceEv != nil {
+		s.st.Eng.Cancel(s.paceEv)
+		s.paceEv = nil
+	}
+}
+
+// ResumeSending implements cc.Driver.
+func (s *Sender) ResumeSending() {
+	if s.finished {
+		return
+	}
+	s.stopped = false
+	s.nextPacedAt = 0
+	s.armRTO()
+	s.trySend()
+}
+
+// SendProbeAfter implements cc.Driver: schedule a probe packet.
+func (s *Sender) SendProbeAfter(d sim.Time) {
+	if s.finished {
+		return
+	}
+	if s.probeEv != nil {
+		s.st.Eng.Cancel(s.probeEv)
+	}
+	s.probeEv = s.st.Eng.After(d, func() {
+		s.probeEv = nil
+		s.sendProbe()
+	})
+}
+
+// ResetRTO implements cc.Driver.
+func (s *Sender) ResetRTO() { s.armRTO() }
+
+// Rand implements cc.Driver.
+func (s *Sender) Rand() *rand.Rand { return s.spec.Rand }
+
+// --- sending machinery ---
+
+func (s *Sender) sendProbe() {
+	if s.finished {
+		return
+	}
+	pkt := netsim.NewProbe(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio)
+	pkt.SentAt = s.st.Eng.Now()
+	s.ProbesSent++
+	s.st.Host.Send(pkt)
+	s.armRTO()
+}
+
+// segment tracks one sent-but-unacknowledged payload. counted reports
+// whether its bytes are currently included in the inflight total; a
+// segment declared lost is uncounted until retransmitted.
+type segment struct {
+	length  int
+	counted bool
+	queued  bool // pending in the retransmit queue
+}
+
+// nextSeq returns the next payload to transmit: retransmissions first,
+// then new data. ok is false when nothing is pending.
+func (s *Sender) nextSeq() (seq int64, length int, retx, ok bool) {
+	for len(s.retxq) > 0 {
+		seq = s.retxq[0]
+		if seg, lost := s.unacked[seq]; lost {
+			return seq, seg.length, true, true
+		}
+		s.retxq = s.retxq[1:] // already acked meanwhile
+	}
+	if s.sndNxt < s.spec.Size {
+		length = s.mtu
+		if rest := s.spec.Size - s.sndNxt; rest < int64(length) {
+			length = int(rest)
+		}
+		return s.sndNxt, length, false, true
+	}
+	return 0, 0, false, false
+}
+
+func (s *Sender) trySend() {
+	if s.finished || s.stopped || !s.started {
+		return
+	}
+	cwnd := s.spec.Algo.CwndBytes()
+	for {
+		seq, length, retx, ok := s.nextSeq()
+		if !ok {
+			return
+		}
+		if float64(s.inflight) >= cwnd {
+			return
+		}
+		// Sub-packet windows are paced at cwnd/RTT; Paced flows always.
+		if cwnd < float64(s.mtu) || s.spec.Paced {
+			now := s.st.Eng.Now()
+			if now < s.nextPacedAt {
+				s.schedulePace(s.nextPacedAt - now)
+				return
+			}
+			rtt := s.srtt
+			if rtt == 0 {
+				rtt = s.spec.BaseRTT
+			}
+			gap := sim.Time(float64(rtt) * float64(s.mtu) / math.Max(cwnd, 1))
+			if s.spec.MinRateGap > 0 && gap > s.spec.MinRateGap {
+				gap = s.spec.MinRateGap
+			}
+			s.nextPacedAt = now + gap
+		}
+		s.emit(seq, length, retx)
+	}
+}
+
+func (s *Sender) schedulePace(d sim.Time) {
+	if s.paceEv != nil {
+		return
+	}
+	s.paceEv = s.st.Eng.After(d, func() {
+		s.paceEv = nil
+		s.trySend()
+	})
+}
+
+func (s *Sender) emit(seq int64, length int, retx bool) {
+	if retx {
+		s.retxq = s.retxq[1:]
+		s.Retransmits++
+		if seg := s.unacked[seq]; seg != nil {
+			seg.queued = false
+			if !seg.counted {
+				seg.counted = true
+				s.inflight += seg.length
+			}
+		}
+	} else {
+		s.unacked[seq] = &segment{length: length, counted: true}
+		s.sndNxt = seq + int64(length)
+		s.inflight += length
+	}
+	pkt := netsim.NewData(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio, seq, length)
+	pkt.VPrio = s.spec.VPrio
+	pkt.ECT = s.spec.Algo.WantsECT()
+	pkt.SentAt = s.st.Eng.Now()
+	s.st.Host.Send(pkt)
+	s.armRTO()
+}
+
+// armRTO pushes the retransmission deadline forward. The timer is lazy:
+// the pending event is never rescheduled (heap churn per packet would
+// dominate the simulator); when it fires early it re-arms itself at the
+// current deadline.
+func (s *Sender) armRTO() {
+	if s.finished {
+		return
+	}
+	rto := 4 * s.srtt
+	if rto < s.spec.RTOMin {
+		rto = s.spec.RTOMin
+	}
+	s.rtoDeadline = s.st.Eng.Now() + rto
+	if s.rtoEv == nil {
+		s.rtoEv = s.st.Eng.At(s.rtoDeadline, s.onRTO)
+	}
+}
+
+func (s *Sender) onRTO() {
+	s.rtoEv = nil
+	if s.finished {
+		return
+	}
+	if now := s.st.Eng.Now(); now < s.rtoDeadline {
+		// The deadline moved while this event was pending: re-arm.
+		s.rtoEv = s.st.Eng.At(s.rtoDeadline, s.onRTO)
+		return
+	}
+	s.RTOs++
+	s.spec.Algo.OnRTO()
+	if s.stopped {
+		// A probe (or its ACK) was lost: retry immediately.
+		if s.probeEv == nil {
+			s.sendProbe()
+		} else {
+			s.armRTO()
+		}
+		return
+	}
+	// An RTO means the ACK clock is dead: everything outstanding is
+	// presumed lost. Uncount and re-queue it all (in order) so the
+	// collapsed window can admit the retransmissions, and reset the
+	// loss-scan mark so future gap detection can rediscover this region.
+	s.advanceMin()
+	s.lossScanned = s.minOut
+	for seq := s.minOut; seq < s.sndNxt; seq += int64(s.mtu) {
+		if _, ok := s.unacked[seq]; ok {
+			s.queueRetx(seq)
+		}
+	}
+	s.armRTO()
+	s.trySend()
+}
+
+// queueRetx declares a segment lost: its bytes leave the inflight total so
+// the window admits the retransmission.
+func (s *Sender) queueRetx(seq int64) {
+	seg := s.unacked[seq]
+	if seg == nil || seg.queued {
+		return
+	}
+	seg.queued = true
+	if seg.counted {
+		seg.counted = false
+		s.inflight -= seg.length
+	}
+	s.retxq = append(s.retxq, seq)
+}
+
+// advanceMin moves the minimum-outstanding cursor past acknowledged
+// sequences. Segment starts are multiples of the MTU, so the walk is exact
+// and, being monotone, amortized O(1) per acknowledgment.
+func (s *Sender) advanceMin() {
+	for s.minOut < s.sndNxt {
+		if _, ok := s.unacked[s.minOut]; ok {
+			return
+		}
+		s.minOut += int64(s.mtu)
+	}
+}
+
+func (s *Sender) updateSRTT(rtt sim.Time) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+	} else {
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+}
+
+func (s *Sender) onAck(pkt *netsim.Packet) {
+	if s.finished {
+		return
+	}
+	rtt := s.st.measureRTT(pkt.SentAt)
+	s.updateSRTT(rtt)
+
+	newly := 0
+	if seg, ok := s.unacked[pkt.Seq]; ok {
+		delete(s.unacked, pkt.Seq)
+		if seg.counted {
+			s.inflight -= seg.length
+		}
+		newly += seg.length
+	}
+	if pkt.AckSeq > s.sndUna {
+		// Cumulative advance: clear anything below it. Segment starts are
+		// MTU-strided, so walking the cursor is amortized O(1) per ACK.
+		for seq := s.minOut; seq < pkt.AckSeq; seq += int64(s.mtu) {
+			seg, ok := s.unacked[seq]
+			if !ok {
+				continue
+			}
+			delete(s.unacked, seq)
+			if seg.counted {
+				s.inflight -= seg.length
+			}
+			newly += seg.length
+		}
+		s.sndUna = pkt.AckSeq
+		if s.minOut < pkt.AckSeq {
+			s.minOut = pkt.AckSeq
+		}
+	}
+	s.advanceMin()
+
+	// IRN-style selective repeat: an ACK for byte Seq with a cumulative
+	// ACK below it means the receiver has holes. Any still-unacked segment
+	// reordered past by at least three segments is declared lost and
+	// retransmitted. The stride walk only runs while the receiver reports
+	// a hole, so lossless runs never pay for it.
+	if pkt.Seq > pkt.AckSeq && pkt.Seq-pkt.AckSeq >= int64(3*s.mtu) {
+		threshold := pkt.Seq - int64(3*s.mtu)
+		seq := max(s.minOut, s.lossScanned)
+		for ; seq <= threshold; seq += int64(s.mtu) {
+			if _, ok := s.unacked[seq]; ok {
+				s.queueRetx(seq)
+			}
+		}
+		if seq > s.lossScanned {
+			// Each region is walked once; re-lost retransmissions within
+			// it are recovered by the RTO.
+			s.lossScanned = seq
+		}
+	}
+
+	fb := cc.Feedback{
+		Now:        s.st.Eng.Now(),
+		Delay:      rtt,
+		CE:         pkt.CE,
+		AckedBytes: newly,
+		Seq:        pkt.Seq,
+		CumAck:     pkt.AckSeq,
+		INT:        pkt.INT,
+	}
+	s.spec.Algo.OnAck(fb)
+
+	if s.sndUna >= s.spec.Size {
+		s.complete()
+		return
+	}
+	s.armRTO()
+	s.trySend()
+}
+
+func (s *Sender) onProbeAck(pkt *netsim.Packet) {
+	if s.finished {
+		return
+	}
+	rtt := s.st.measureRTT(pkt.SentAt)
+	if s.stopped {
+		// A probe after an idle period restarts the RTT estimate: the
+		// smoothed value predates the yield and would mis-pace the
+		// resumed window (Karn-style restart).
+		s.srtt = rtt
+	} else {
+		s.updateSRTT(rtt)
+	}
+	fb := cc.Feedback{
+		Now:    s.st.Eng.Now(),
+		Delay:  rtt,
+		Seq:    pkt.Seq,
+		CumAck: s.sndUna,
+	}
+	s.spec.Algo.OnProbeAck(fb)
+	if !s.stopped && !s.finished {
+		s.trySend()
+	}
+}
+
+func (s *Sender) complete() {
+	s.finished = true
+	for _, ev := range []*sim.Event{s.paceEv, s.rtoEv, s.probeEv} {
+		if ev != nil {
+			s.st.Eng.Cancel(ev)
+		}
+	}
+	s.paceEv, s.rtoEv, s.probeEv = nil, nil, nil
+	delete(s.st.senders, s.spec.ID)
+	if s.spec.OnComplete != nil {
+		s.spec.OnComplete(s.st.Eng.Now() - s.startAt)
+	}
+}
+
+// Finished reports whether all bytes have been acknowledged.
+func (s *Sender) Finished() bool { return s.finished }
+
+// Inflight returns the bytes currently in flight.
+func (s *Sender) Inflight() int { return s.inflight }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// Algo returns the flow's congestion controller.
+func (s *Sender) Algo() cc.Algorithm { return s.spec.Algo }

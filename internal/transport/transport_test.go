@@ -1,0 +1,401 @@
+package transport_test
+
+import (
+	"math"
+	"testing"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+// microCfg is the paper's micro-benchmark fabric: 100G links, 3 us latency,
+// ~12 us base RTT through one switch.
+func microCfg() topo.Config {
+	cfg := topo.DefaultConfig()
+	cfg.LinkDelay = 3 * sim.Microsecond
+	return cfg
+}
+
+func newStar(nHosts int) (*harness.Net, *sim.Engine) {
+	eng := sim.NewEngine()
+	net := harness.New(topo.Star(eng, nHosts, microCfg()), 7)
+	return net, eng
+}
+
+func swiftFor(net *harness.Net, src, dst int) *cc.Swift {
+	base := net.Topo.BaseRTT(src, dst)
+	return cc.NewSwift(cc.DefaultSwiftConfig(base, net.BDPPackets(src, dst)))
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	net, eng := newStar(3)
+	var fct sim.Time
+	net.AddFlow(harness.Flow{
+		Src: 0, Dst: 2, Size: 1 << 20, Prio: 0,
+		Algo:       swiftFor(net, 0, 2),
+		OnComplete: func(d sim.Time) { fct = d },
+	})
+	eng.RunUntil(20 * sim.Millisecond)
+	if fct == 0 {
+		t.Fatal("flow did not complete")
+	}
+	// Ideal FCT = size/rate + base RTT: ~84 us + 12.5 us. Allow 2x.
+	ideal := sim.FromSeconds(float64(1<<20) / (100e9 / 8))
+	if fct > 2*ideal+net.Topo.BaseRTT(0, 2) {
+		t.Errorf("FCT = %v, want near ideal %v", fct, ideal)
+	}
+}
+
+func TestFlowDeliversAllBytesInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := topo.Star(eng, 3, microCfg())
+	var got int64
+	var lastSeq int64 = -1
+	ooo := false
+	nw.Hosts[2].Sink = func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Data {
+			if pkt.Seq < lastSeq {
+				ooo = true
+			}
+			lastSeq = pkt.Seq
+			got += int64(pkt.Payload)
+		}
+	}
+	net := harness.New(nw, 1) // replaces sink; re-wrap below
+	inner := nw.Hosts[2].Sink
+	nw.Hosts[2].Sink = func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Data {
+			if pkt.Seq < lastSeq {
+				ooo = true
+			}
+			lastSeq = pkt.Seq
+			got += int64(pkt.Payload)
+		}
+		inner(pkt)
+	}
+	done := false
+	net.AddFlow(harness.Flow{
+		Src: 0, Dst: 2, Size: 123456, Prio: 0,
+		Algo:       swiftFor(net, 0, 2),
+		OnComplete: func(sim.Time) { done = true },
+	})
+	eng.RunUntil(10 * sim.Millisecond)
+	if !done {
+		t.Fatal("flow did not complete")
+	}
+	if got != 123456 {
+		t.Errorf("delivered %d bytes, want 123456 (no loss on idle fabric)", got)
+	}
+	if ooo {
+		t.Error("data arrived out of order on a single path")
+	}
+}
+
+func TestTwoFlowsFairShare(t *testing.T) {
+	net, eng := newStar(3)
+	var fct [2]sim.Time
+	size := int64(4 << 20)
+	for i := 0; i < 2; i++ {
+		i := i
+		net.AddFlow(harness.Flow{
+			Src: i, Dst: 2, Size: size, Prio: 0,
+			Algo:       swiftFor(net, i, 2),
+			OnComplete: func(d sim.Time) { fct[i] = d },
+		})
+	}
+	eng.RunUntil(50 * sim.Millisecond)
+	if fct[0] == 0 || fct[1] == 0 {
+		t.Fatal("flows did not complete")
+	}
+	ratio := float64(fct[0]) / float64(fct[1])
+	if ratio < 0.7 || ratio > 1.43 {
+		t.Errorf("FCT ratio = %.2f, want ~1 (fair share)", ratio)
+	}
+	// Together they should take about 2x the single-flow ideal.
+	ideal := sim.FromSeconds(float64(2*size) / (100e9 / 8))
+	worst := max(fct[0], fct[1])
+	if worst > ideal*3/2 {
+		t.Errorf("combined completion %v, want near %v (work conservation)", worst, ideal)
+	}
+}
+
+func TestSubPacketWindowIsPaced(t *testing.T) {
+	// A fixed cwnd of 0.25 packets must send ~1 packet per 4 RTTs.
+	net, eng := newStar(3)
+	algo := &fixedWindow{cwndPkts: 0.25}
+	var delivered int64
+	nw := net.Topo
+	inner := nw.Hosts[2].Sink
+	nw.Hosts[2].Sink = func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Data {
+			delivered++
+		}
+		inner(pkt)
+	}
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 20, Prio: 0, Algo: algo})
+	dur := 2 * sim.Millisecond
+	eng.RunUntil(dur)
+	base := nw.BaseRTT(0, 2)
+	expected := float64(dur) / float64(base) * 0.25
+	if delivered < int64(expected/2) || delivered > int64(expected*2) {
+		t.Errorf("delivered %d packets with cwnd=0.25, want ~%.0f", delivered, expected)
+	}
+}
+
+// fixedWindow is a test controller with a constant window.
+type fixedWindow struct {
+	drv      cc.Driver
+	cwndPkts float64
+	acks     int
+	probes   int
+}
+
+func (f *fixedWindow) Start(drv cc.Driver)       { f.drv = drv }
+func (f *fixedWindow) OnAck(fb cc.Feedback)      { f.acks++ }
+func (f *fixedWindow) OnProbeAck(fb cc.Feedback) { f.probes++ }
+func (f *fixedWindow) OnRTO()                    {}
+func (f *fixedWindow) CwndBytes() float64        { return f.cwndPkts * float64(f.drv.MTU()) }
+func (f *fixedWindow) WantsECT() bool            { return false }
+func (f *fixedWindow) Name() string              { return "fixed" }
+
+func TestLossRecoveryLossyFabric(t *testing.T) {
+	// Small lossy buffer under 2:1 incast (the Fig 17 configuration: PFC
+	// off, IRN recovery): the line-rate start bursts overflow the buffer,
+	// drops happen, and both flows still finish.
+	eng := sim.NewEngine()
+	cfg := microCfg()
+	cfg.Buffer.PFCEnabled = false
+	cfg.Buffer.TotalBytes = 100 * 1048
+	cfg.Buffer.DTAlpha = 1
+	nw := topo.Star(eng, 3, cfg)
+	net := harness.New(nw, 3)
+	done := 0
+	for i := 0; i < 2; i++ {
+		base := nw.BaseRTT(i, 2)
+		net.AddFlow(harness.Flow{
+			Src: i, Dst: 2, Size: 2 << 20, Prio: 0,
+			Algo:       cc.NewSwift(cc.DefaultSwiftConfig(base, net.BDPPackets(i, 2))),
+			OnComplete: func(sim.Time) { done++ },
+		})
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	if nw.Switches[0].Drops() == 0 {
+		t.Error("expected drops from the line-rate start on a small lossy buffer")
+	}
+	if done != 2 {
+		t.Fatalf("%d/2 flows completed; loss recovery failed", done)
+	}
+}
+
+func TestProbeEchoPath(t *testing.T) {
+	net, eng := newStar(3)
+	probed := &probeOnce{}
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1000, Prio: 0, Algo: probed})
+	eng.RunUntil(sim.Millisecond)
+	if probed.probeAcks == 0 {
+		t.Fatal("probe was not echoed")
+	}
+	// Probe RTT should be close to base RTT on an idle fabric (probe and
+	// probe-ack are 64 B frames, slightly faster than the data base RTT).
+	base := net.Topo.BaseRTT(0, 2)
+	if probed.delay > base || probed.delay < base-2*sim.Microsecond {
+		t.Errorf("probe RTT = %v, want just under base %v", probed.delay, base)
+	}
+	if !probed.completed {
+		t.Error("flow did not complete after probe resume")
+	}
+}
+
+// probeOnce probes before sending, then transmits with a 2-packet window.
+type probeOnce struct {
+	drv       cc.Driver
+	probeAcks int
+	delay     sim.Time
+	completed bool
+	resumed   bool
+}
+
+func (p *probeOnce) Start(drv cc.Driver) {
+	p.drv = drv
+	drv.StopSending()
+	drv.SendProbeAfter(10 * sim.Microsecond)
+}
+func (p *probeOnce) OnAck(fb cc.Feedback) {
+	if fb.CumAck >= 1000 {
+		p.completed = true
+	}
+}
+func (p *probeOnce) OnProbeAck(fb cc.Feedback) {
+	p.probeAcks++
+	p.delay = fb.Delay
+	p.resumed = true
+	p.drv.ResumeSending()
+}
+func (p *probeOnce) OnRTO() {}
+func (p *probeOnce) CwndBytes() float64 {
+	if !p.resumed {
+		return 0
+	}
+	return 2 * float64(p.drv.MTU())
+}
+func (p *probeOnce) WantsECT() bool { return false }
+func (p *probeOnce) Name() string   { return "probeonce" }
+
+func TestMeasurementNoiseApplied(t *testing.T) {
+	net, eng := newStar(3)
+	net.SetNoise(func() sim.Time { return 5 * sim.Microsecond })
+	fw := &delayRecorder{}
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 10000, Prio: 0, Algo: fw})
+	eng.RunUntil(sim.Millisecond)
+	base := net.Topo.BaseRTT(0, 2)
+	if len(fw.delays) == 0 {
+		t.Fatal("no delay samples")
+	}
+	for _, d := range fw.delays {
+		if d < base+4*sim.Microsecond {
+			t.Fatalf("delay %v missing the 5us injected noise (base %v)", d, base)
+		}
+	}
+}
+
+type delayRecorder struct {
+	drv    cc.Driver
+	delays []sim.Time
+}
+
+func (d *delayRecorder) Start(drv cc.Driver)  { d.drv = drv }
+func (d *delayRecorder) OnAck(fb cc.Feedback) { d.delays = append(d.delays, fb.Delay) }
+func (d *delayRecorder) OnProbeAck(cc.Feedback) {
+}
+func (d *delayRecorder) OnRTO()             {}
+func (d *delayRecorder) CwndBytes() float64 { return 4 * float64(d.drv.MTU()) }
+func (d *delayRecorder) WantsECT() bool     { return false }
+func (d *delayRecorder) Name() string       { return "recorder" }
+
+func TestRTOFiresOnSilence(t *testing.T) {
+	// Break the fabric by dropping everything: RTO must fire.
+	eng := sim.NewEngine()
+	cfg := microCfg()
+	cfg.Buffer.PFCEnabled = false
+	cfg.Buffer.TotalBytes = 0 // admits nothing
+	cfg.Buffer.PerQueueMin = 0
+	nw := topo.Star(eng, 3, cfg)
+	net := harness.New(nw, 1)
+	fw := &fixedWindow{cwndPkts: 2}
+	s := net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 10000, Prio: 0, Algo: fw})
+	eng.RunUntil(2 * sim.Millisecond)
+	if s.RTOs == 0 {
+		t.Error("no RTOs despite a blackholed path")
+	}
+	if s.Retransmits == 0 {
+		t.Error("no retransmissions attempted")
+	}
+}
+
+func TestLastPacketPartialSize(t *testing.T) {
+	net, eng := newStar(3)
+	var sizes []int
+	nw := net.Topo
+	inner := nw.Hosts[2].Sink
+	nw.Hosts[2].Sink = func(pkt *netsim.Packet) {
+		if pkt.Type == netsim.Data {
+			sizes = append(sizes, pkt.Payload)
+		}
+		inner(pkt)
+	}
+	done := false
+	net.AddFlow(harness.Flow{
+		Src: 0, Dst: 2, Size: 2500, Prio: 0,
+		Algo:       swiftFor(net, 0, 2),
+		OnComplete: func(sim.Time) { done = true },
+	})
+	eng.RunUntil(sim.Millisecond)
+	if !done {
+		t.Fatal("flow did not complete")
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 2500 {
+		t.Errorf("delivered %d bytes, want 2500", total)
+	}
+	if sizes[len(sizes)-1] != 500 {
+		t.Errorf("last packet payload = %d, want 500", sizes[len(sizes)-1])
+	}
+}
+
+func TestManyFlowsAllComplete(t *testing.T) {
+	net, eng := newStar(9)
+	done := 0
+	for i := 0; i < 8; i++ {
+		net.AddFlow(harness.Flow{
+			Src: i, Dst: 8, Size: 1 << 20, Prio: 0,
+			Algo:       swiftFor(net, i, 8),
+			OnComplete: func(sim.Time) { done++ },
+			StartAt:    sim.Time(i) * 10 * sim.Microsecond,
+		})
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	if done != 8 {
+		t.Errorf("%d/8 flows completed", done)
+	}
+}
+
+func TestDeterministicRerun(t *testing.T) {
+	run := func() []sim.Time {
+		net, eng := newStar(5)
+		var fcts []sim.Time
+		for i := 0; i < 4; i++ {
+			net.AddFlow(harness.Flow{
+				Src: i, Dst: 4, Size: 1 << 20, Prio: 0,
+				Algo:       swiftFor(net, i, 4),
+				OnComplete: func(d sim.Time) { fcts = append(fcts, d) },
+			})
+		}
+		eng.RunUntil(100 * sim.Millisecond)
+		return fcts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("rerun diverged at flow %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInflightNeverNegative(t *testing.T) {
+	net, eng := newStar(3)
+	s := net.AddFlow(harness.Flow{
+		Src: 0, Dst: 2, Size: 1 << 20, Prio: 0,
+		Algo: swiftFor(net, 0, 2),
+	})
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.At(sim.Time(i)*10*sim.Microsecond, func() {
+			if s.Inflight() < 0 {
+				t.Fatalf("inflight = %d at sample %d", s.Inflight(), i)
+			}
+		})
+	}
+	eng.RunUntil(2 * sim.Millisecond)
+}
+
+func TestThroughputNearLineRate(t *testing.T) {
+	net, eng := newStar(3)
+	m := harness.NewThroughputMeter()
+	net.SinkCounter(2, m, func(pkt *netsim.Packet) int { return 0 })
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 64 << 20, Prio: 0, Algo: swiftFor(net, 0, 2)})
+	dur := 4 * sim.Millisecond
+	eng.RunUntil(dur)
+	gbps := float64(m.Snapshot()[0]) * 8 / dur.Seconds() / 1e9
+	if math.Abs(gbps-100) > 12 {
+		t.Errorf("single Swift flow throughput = %.1f Gb/s, want ~100", gbps)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prioplus/internal/sim"
+)
+
+// ParseCoflowTrace reads coflows from the text format used by the public
+// Facebook Hadoop trace release (Chowdhury et al.):
+//
+//	<num machines> <num coflows>
+//	<id> <arrival ms> <num mappers> <m1> <m2> ... <num reducers> <r1:sizeMB> <r2:sizeMB> ...
+//
+// Each mapper sends size/mappers to each reducer. Machine indexes are
+// 1-based in the trace and mapped onto hosts modulo the host count.
+func ParseCoflowTrace(r io.Reader, hosts int) ([]Coflow, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	var out []Coflow
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cf, err := parseCoflowLine(fields, hosts)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		out = append(out, cf)
+	}
+	return out, sc.Err()
+}
+
+func parseCoflowLine(fields []string, hosts int) (Coflow, error) {
+	var cf Coflow
+	if len(fields) < 4 {
+		return cf, fmt.Errorf("short line")
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return cf, fmt.Errorf("bad id %q", fields[0])
+	}
+	cf.ID = id
+	arrivalMS, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return cf, fmt.Errorf("bad arrival %q", fields[1])
+	}
+	cf.Arrival = sim.Time(arrivalMS * float64(sim.Millisecond))
+	nm, err := strconv.Atoi(fields[2])
+	if err != nil || nm <= 0 || len(fields) < 3+nm+1 {
+		return cf, fmt.Errorf("bad mapper count")
+	}
+	mappers := make([]int, nm)
+	for i := 0; i < nm; i++ {
+		m, err := strconv.Atoi(fields[3+i])
+		if err != nil {
+			return cf, fmt.Errorf("bad mapper %q", fields[3+i])
+		}
+		mappers[i] = (m - 1 + hosts) % hosts
+	}
+	nrIdx := 3 + nm
+	nr, err := strconv.Atoi(fields[nrIdx])
+	if err != nil || nr <= 0 || len(fields) < nrIdx+1+nr {
+		return cf, fmt.Errorf("bad reducer count")
+	}
+	for i := 0; i < nr; i++ {
+		part := fields[nrIdx+1+i]
+		sep := strings.IndexByte(part, ':')
+		if sep < 0 {
+			return cf, fmt.Errorf("bad reducer %q", part)
+		}
+		rm, err := strconv.Atoi(part[:sep])
+		if err != nil {
+			return cf, fmt.Errorf("bad reducer machine %q", part)
+		}
+		sizeMB, err := strconv.ParseFloat(part[sep+1:], 64)
+		if err != nil || sizeMB < 0 {
+			return cf, fmt.Errorf("bad reducer size %q", part)
+		}
+		dst := (rm - 1 + hosts) % hosts
+		per := int64(sizeMB * 1e6 / float64(len(mappers)))
+		if per <= 0 {
+			per = 1
+		}
+		for _, src := range mappers {
+			if src == dst {
+				continue
+			}
+			cf.Flows = append(cf.Flows, CoflowFlow{Src: src, Dst: dst, Size: per})
+			cf.Total += per
+		}
+	}
+	if len(cf.Flows) == 0 {
+		return cf, fmt.Errorf("coflow with no cross-host flows")
+	}
+	return cf, nil
+}

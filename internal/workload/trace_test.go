@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"prioplus/internal/sim"
+)
+
+const sampleTrace = `150 3
+1 0 2 1 2 2 3:100 4:50
+2 250 1 5 1 6:10
+3 1000 3 1 2 3 1 4:300
+`
+
+func TestParseCoflowTrace(t *testing.T) {
+	cfs, err := ParseCoflowTrace(strings.NewReader(sampleTrace), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfs) != 3 {
+		t.Fatalf("parsed %d coflows, want 3", len(cfs))
+	}
+	cf := cfs[0]
+	if cf.ID != 1 || cf.Arrival != 0 {
+		t.Errorf("coflow 1 header wrong: %+v", cf)
+	}
+	// 2 mappers x 2 reducers = 4 flows; sizes 100MB/2 and 50MB/2.
+	if len(cf.Flows) != 4 {
+		t.Fatalf("coflow 1 has %d flows, want 4", len(cf.Flows))
+	}
+	var total int64
+	for _, f := range cf.Flows {
+		total += f.Size
+	}
+	if total != 2*50e6+2*25e6 {
+		t.Errorf("coflow 1 total = %d, want 150 MB", total)
+	}
+	if cfs[1].Arrival != 250*sim.Millisecond {
+		t.Errorf("coflow 2 arrival = %v, want 250ms", cfs[1].Arrival)
+	}
+	// Coflow 3: mapper 4? no — mappers {1,2,3}, reducer 4: 3 flows.
+	if len(cfs[2].Flows) != 3 {
+		t.Errorf("coflow 3 has %d flows, want 3", len(cfs[2].Flows))
+	}
+}
+
+func TestParseCoflowTraceHostWrap(t *testing.T) {
+	// Machine indexes beyond the host count wrap modulo hosts.
+	cfs, err := ParseCoflowTrace(strings.NewReader("10 1\n1 0 1 9 1 10:1\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfs[0].Flows[0]
+	if f.Src != (9-1)%4 || f.Dst != (10-1)%4 {
+		t.Errorf("wrapped src/dst = %d/%d", f.Src, f.Dst)
+	}
+}
+
+func TestParseCoflowTraceSelfFlowsDropped(t *testing.T) {
+	// Mapper == reducer machines produce no flow; an all-local coflow is
+	// an error.
+	_, err := ParseCoflowTrace(strings.NewReader("10 1\n1 0 1 3 1 3:5\n"), 10)
+	if err == nil {
+		t.Error("all-local coflow did not error")
+	}
+}
+
+func TestParseCoflowTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"10 1\n1 0\n",             // short line
+		"10 1\n1 x 1 1 1 2:5\n",   // bad arrival
+		"10 1\n1 0 1 1 1 2-5\n",   // bad reducer separator
+		"10 1\n1 0 9 1 1 2:5\n",   // mapper count beyond fields
+		"10 1\n1 0 1 1 1 2:abc\n", // bad size
+	}
+	for i, c := range cases {
+		if _, err := ParseCoflowTrace(strings.NewReader(c), 10); err == nil {
+			t.Errorf("case %d: no error for %q", i, c)
+		}
+	}
+}
