@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"prioplus/internal/runner"
+	"prioplus/internal/sim"
+)
+
+// runAll is the `prioplus-sim all` subcommand: it fans (experiment, seed)
+// runs across a worker pool and reports per-run wall-clock plus batch
+// events/sec. Every run owns a private engine, so per-run output is
+// byte-identical whatever -parallel is. Returns the process exit code.
+func runAll(args []string) int {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent runs (1 = serial)")
+	seedsArg := fs.String("seeds", "1", "comma-separated seeds; every experiment runs once per seed")
+	onlyArg := fs.String("only", "", "comma-separated subset of experiment ids (default: all)")
+	jsonOut := fs.String("json", "", "write per-run results to this file as JSON")
+	timeout := fs.Duration("timeout", 0, "per-run wall-clock limit (0 = none)")
+	full := fs.Bool("full", false, "run at the paper's full scale")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	fs.Parse(args)
+
+	ids := experiments
+	if *onlyArg != "" {
+		ids = strings.Split(*onlyArg, ",")
+		for _, id := range ids {
+			if err := validExperiment(id); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+	}
+	seeds, err := parseSeeds(*seedsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	var tasks []runner.Task
+	for _, id := range ids {
+		for _, seed := range seeds {
+			id, seed := id, seed
+			tasks = append(tasks, runner.Task{
+				Name: fmt.Sprintf("%s/seed=%d", id, seed),
+				Run: func() (string, map[string]float64) {
+					var buf bytes.Buffer
+					if err := runExperiment(id, runOpts{full: *full, seed: seed}, &buf); err != nil {
+						panic(err) // unreachable: ids are validated above
+					}
+					return buf.String(), nil
+				},
+			})
+		}
+	}
+
+	startEvents := sim.TotalProcessed()
+	startWall := time.Now()
+	results := runner.Run(tasks, runner.Options{Workers: *parallel, Timeout: *timeout})
+	wall := time.Since(startWall)
+	events := sim.TotalProcessed() - startEvents
+
+	failures := 0
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL: " + r.Err.Error()
+			failures++
+		}
+		fmt.Printf("== %-20s %10.2fms  %s\n", r.Name, float64(r.Wall.Microseconds())/1000, status)
+		if r.Output != "" {
+			fmt.Print(indent(r.Output))
+		}
+	}
+	fmt.Printf("\n%d/%d runs ok, %d workers, wall %.2fs, %d events, %.3gM events/sec\n",
+		len(results)-failures, len(results), *parallel, wall.Seconds(),
+		events, float64(events)/wall.Seconds()/1e6)
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, results, seeds, *parallel, *full, wall, events); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func validExperiment(id string) error {
+	for _, known := range experiments {
+		if id == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", id)
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds value %q: %v", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+func indent(s string) string {
+	out := "   " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n   ")
+	return out + "\n"
+}
+
+// runJSON is one run in the -json report. Output is the run's full text,
+// byte-identical for any -parallel value.
+type runJSON struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Output string  `json:"output,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+type batchJSON struct {
+	Full         bool      `json:"full"`
+	Parallel     int       `json:"parallel"`
+	Seeds        []int64   `json:"seeds"`
+	WallMS       float64   `json:"wall_ms"`
+	Events       uint64    `json:"events"`
+	EventsPerSec float64   `json:"events_per_sec"`
+	Runs         []runJSON `json:"runs"`
+}
+
+func writeJSON(path string, results []runner.Result, seeds []int64, parallel int, full bool, wall time.Duration, events uint64) error {
+	doc := batchJSON{
+		Full:         full,
+		Parallel:     parallel,
+		Seeds:        seeds,
+		WallMS:       float64(wall.Microseconds()) / 1000,
+		Events:       events,
+		EventsPerSec: float64(events) / wall.Seconds(),
+	}
+	for _, r := range results {
+		rj := runJSON{Name: r.Name, WallMS: float64(r.Wall.Microseconds()) / 1000, Output: r.Output}
+		if r.Err != nil {
+			rj.Error = r.Err.Error()
+		}
+		doc.Runs = append(doc.Runs, rj)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// startProfiles starts CPU profiling and/or arranges a heap profile; the
+// returned function stops the CPU profile and writes the heap profile.
+func startProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,20 +1,25 @@
 // Command prioplus-sim runs the paper's experiments from the command line:
 //
 //	prioplus-sim <experiment> [flags]
+//	prioplus-sim all [-parallel N] [-seeds a,b,c] [-json out.json]
 //
 // Experiments (ids match DESIGN.md and the paper's figures/tables):
 //
 //	fig2 fig3a fig3b fig3c fig3d fig7 fig8 fig9 fig10a fig10b fig10c
 //	fig10d fig11 fig12ab fig12c fig13 fig14 fig15 fig16 fig17 fig18
-//	tab2 appd
+//	tab2 appd ablation ext-ecn ext-weighted
 //
 // Use -full for paper-scale runs (slower); the default scale preserves the
-// comparisons at a fraction of the runtime.
+// comparisons at a fraction of the runtime. The `all` subcommand fans every
+// experiment across a worker pool (one private engine per run, so results
+// are byte-identical whatever -parallel is) and reports wall-clock and
+// events/sec. -cpuprofile/-memprofile write pprof profiles for either mode.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prioplus/internal/exp"
@@ -22,69 +27,109 @@ import (
 	"prioplus/internal/stats"
 )
 
+// experiments lists every experiment id in the order `all` runs them.
+var experiments = []string{
+	"fig2", "fig3a", "fig3b", "fig3c", "fig3d", "fig7", "fig8", "fig9",
+	"fig10a", "fig10b", "fig10c", "fig10d", "fig11", "fig12ab", "fig12c",
+	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"tab2", "appd", "ablation", "ext-ecn", "ext-weighted",
+}
+
+// runOpts carries the per-run knobs shared by single and batch mode.
+type runOpts struct {
+	full   bool
+	series bool
+	seed   int64
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
 	expID := os.Args[1]
+	if expID == "all" {
+		os.Exit(runAll(os.Args[2:]))
+	}
 	fs := flag.NewFlagSet(expID, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's full scale")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	series := fs.Bool("series", false, "also print time-series data where available")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
 
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runErr := runExperiment(expID, runOpts{full: *full, series: *series, seed: *seed}, os.Stdout)
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", expID)
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runExperiment executes one experiment and writes its report to w. It
+// returns an error only for an unknown id; experiment output (including
+// the batch runner's captured per-run output) goes to w.
+func runExperiment(expID string, o runOpts, w io.Writer) error {
 	switch expID {
 	case "fig2":
 		tb := stats.NewTable("chip", "year", "buffer(MB)", "bandwidth(Tbps)", "MB/Tbps")
 		for _, r := range exp.Fig2() {
 			tb.AddRow(r.Chip, r.Year, r.BufferMB, r.BandTbps, r.RatioMBpT)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig3a":
 		r := exp.Fig3a(8 << 20)
-		fmt.Printf("D2TCP, deadlines 1x/2x ideal FCT on one queue\n")
-		fmt.Printf("  high-priority share during contention: %.2f (strict would be ~1.0)\n", r.HighShare)
-		fmt.Printf("  high-priority FCT vs ideal: %.2fx (strict would be ~1.0x)\n", r.HighFCTvsIdeal)
-		printSeries(*series, r.Series)
+		fmt.Fprintf(w, "D2TCP, deadlines 1x/2x ideal FCT on one queue\n")
+		fmt.Fprintf(w, "  high-priority share during contention: %.2f (strict would be ~1.0)\n", r.HighShare)
+		fmt.Fprintf(w, "  high-priority FCT vs ideal: %.2fx (strict would be ~1.0x)\n", r.HighFCTvsIdeal)
+		printSeries(w, o.series, r.Series)
 
 	case "fig3b":
 		r := exp.Fig3b()
-		fmt.Printf("Swift + target scaling, targets base+15us vs base+5us\n")
-		fmt.Printf("  high-target share: %.2f (weighted sharing, violates O1)\n", r.HighShare)
-		printSeries(*series, r.Series)
+		fmt.Fprintf(w, "Swift + target scaling, targets base+15us vs base+5us\n")
+		fmt.Fprintf(w, "  high-target share: %.2f (weighted sharing, violates O1)\n", r.HighShare)
+		printSeries(w, o.series, r.Series)
 
 	case "fig3c":
 		n := 300
-		if !*full {
+		if !o.full {
 			n = 100
 		}
 		r := exp.Fig3c(n)
-		fmt.Printf("Swift w/o scaling, %d low flows + 1 high flow\n", n)
-		fmt.Printf("  utilization before high flow: %.2f (fluctuation causes waste, violates O2)\n", r.UtilBefore)
-		fmt.Printf("  delay above high target: %.0f%% of samples\n", r.OverLimitFrac*100)
-		fmt.Printf("  high flow share after start: %.2f (decelerates, violates O1)\n", r.HighShareAfter)
+		fmt.Fprintf(w, "Swift w/o scaling, %d low flows + 1 high flow\n", n)
+		fmt.Fprintf(w, "  utilization before high flow: %.2f (fluctuation causes waste, violates O2)\n", r.UtilBefore)
+		fmt.Fprintf(w, "  delay above high target: %.0f%% of samples\n", r.OverLimitFrac*100)
+		fmt.Fprintf(w, "  high flow share after start: %.2f (decelerates, violates O1)\n", r.HighShareAfter)
 
 	case "fig3d":
 		r := exp.Fig3d()
-		fmt.Printf("Swift w/o scaling trade-offs (§3.3)\n")
-		fmt.Printf("  extra queue from line-rate start: %d B\n", r.ExtraQueueOnStart)
-		fmt.Printf("  reclaim delay after high flows stop: %v\n", r.ReclaimDelay)
+		fmt.Fprintf(w, "Swift w/o scaling trade-offs (§3.3)\n")
+		fmt.Fprintf(w, "  extra queue from line-rate start: %d B\n", r.ExtraQueueOnStart)
+		fmt.Fprintf(w, "  reclaim delay after high flows stop: %v\n", r.ReclaimDelay)
 
 	case "fig7":
 		cdf, st := exp.Fig7(200_000)
-		fmt.Printf("delay noise: mean %v, P99 %v, P99.85 %v, P(>1us) %.4f\n",
+		fmt.Fprintf(w, "delay noise: mean %v, P99 %v, P99.85 %v, P(>1us) %.4f\n",
 			st.Mean, st.P99, st.P9985, st.FracGt1)
-		if *series {
+		if o.series {
 			for _, p := range cdf {
-				fmt.Printf("  %.3fus %.4f\n", p[0], p[1])
+				fmt.Fprintf(w, "  %.3fus %.4f\n", p[0], p[1])
 			}
 		}
 
 	case "fig8":
 		interval := 4 * sim.Millisecond
-		if !*full {
+		if !o.full {
 			interval = 2 * sim.Millisecond
 		}
 		pp := exp.Fig8(true, interval)
@@ -92,8 +137,8 @@ func main() {
 		tb := stats.NewTable("scheme", "dominance of newest priority")
 		tb.AddRow(pp.Scheme, pp.DominanceFrac)
 		tb.AddRow(sw.Scheme, sw.DominanceFrac)
-		tb.Render(os.Stdout)
-		printSeries(*series, pp.Series)
+		tb.Render(w)
+		printSeries(w, o.series, pp.Series)
 
 	case "fig9":
 		pp := exp.Fig9(true)
@@ -101,14 +146,14 @@ func main() {
 		tb := stats.NewTable("scheme", "frac of samples above D_limit")
 		tb.AddRow(pp.Scheme, pp.OverLimitFrac)
 		tb.AddRow(sw.Scheme, sw.OverLimitFrac)
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig10a":
 		// Adjacent-priority takeover needs a few ms (probe + one-packet
 		// resume + capped adaptive increase), which is why the paper's
 		// intervals are 5 ms.
 		per, interval := 30, 5*sim.Millisecond
-		if !*full {
+		if !o.full {
 			per, interval = 6, 5*sim.Millisecond
 		}
 		shares := exp.Fig10a(per, interval)
@@ -116,23 +161,23 @@ func main() {
 		for p, s := range shares {
 			tb.AddRow(p, s)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig10b":
 		n := 300
-		if !*full {
+		if !o.full {
 			n = 80
 		}
 		r := exp.Fig10b(n)
-		fmt.Printf("%d-flow incast, D_target %v\n", n, r.Target)
-		fmt.Printf("  delay within channel: %.0f%% of samples; mean delay %v\n", r.WithinFrac*100, r.MeanDelay)
+		fmt.Fprintf(w, "%d-flow incast, D_target %v\n", n, r.Target)
+		fmt.Fprintf(w, "  delay within channel: %.0f%% of samples; mean delay %v\n", r.WithinFrac*100, r.MeanDelay)
 
 	case "fig10c":
 		r := exp.Fig10c()
 		tb := stats.NewTable("variant", "takeover time", "rate variance after")
 		tb.AddRow("dual-RTT", r.DualRTT.TakeoverTime, r.DualRTT.RateStdev)
 		tb.AddRow("every-RTT", r.EveryRTT.TakeoverTime, r.EveryRTT.RateStdev)
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig10d":
 		scales := []float64{1, 2, 4, 8}
@@ -141,71 +186,71 @@ func main() {
 		for _, p := range exp.Fig10d(scales, widths) {
 			tb.AddRow(p.NoiseScale, p.WidthUS, p.Util)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig11":
 		counts := []int{1, 2, 4, 6, 8, 12}
 		base := exp.DefaultFlowSchedConfig(exp.PrioPlusSwift(), 8)
-		base.Seed = *seed
-		if !*full {
+		base.Seed = o.seed
+		if !o.full {
 			base.K = 4
 			base.Duration = 5 * sim.Millisecond
 			base.Drain = 20 * sim.Millisecond
 			counts = []int{2, 4, 8}
 		}
-		printFig11(exp.Fig11(counts, base))
+		printFig11(w, exp.Fig11(counts, base))
 
 	case "fig12ab":
 		for _, load := range []float64{0.4, 0.7} {
 			cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), load)
-			cfg.Seed = *seed
-			if *full {
+			cfg.Seed = o.seed
+			if o.full {
 				cfg = cfg.PaperScale()
 				cfg.Duration = 100 * sim.Millisecond
 				cfg.Drain = 400 * sim.Millisecond
 			}
-			fmt.Printf("coflow CCT speedup vs Swift baseline, load %.0f%%\n", load*100)
-			printCoflow(exp.Fig12Coflow(cfg, false))
+			fmt.Fprintf(w, "coflow CCT speedup vs Swift baseline, load %.0f%%\n", load*100)
+			printCoflow(w, exp.Fig12Coflow(cfg, false))
 		}
 
 	case "fig15":
 		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
-		cfg.Seed = *seed
-		if *full {
+		cfg.Seed = o.seed
+		if o.full {
 			cfg = cfg.PaperScale()
 			cfg.Duration = 100 * sim.Millisecond
 			cfg.Drain = 400 * sim.Millisecond
 		}
-		fmt.Println("tail (p99) CCT speedup vs Swift baseline, load 70%")
-		printCoflow(exp.Fig12Coflow(cfg, true))
+		fmt.Fprintln(w, "tail (p99) CCT speedup vs Swift baseline, load 70%")
+		printCoflow(w, exp.Fig12Coflow(cfg, true))
 
 	case "fig17":
 		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
-		cfg.Seed = *seed
+		cfg.Seed = o.seed
 		cfg.Lossy = true
-		if *full {
+		if o.full {
 			cfg = cfg.PaperScale()
 			cfg.Duration = 100 * sim.Millisecond
 			cfg.Drain = 400 * sim.Millisecond
 		}
-		fmt.Println("coflow CCT speedup, lossy fabric (PFC off, IRN recovery), load 70%")
-		printCoflow(exp.Fig12Coflow(cfg, false))
+		fmt.Fprintln(w, "coflow CCT speedup, lossy fabric (PFC off, IRN recovery), load 70%")
+		printCoflow(w, exp.Fig12Coflow(cfg, false))
 
 	case "fig18":
 		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
-		cfg.Seed = *seed
-		if *full {
+		cfg.Seed = o.seed
+		if o.full {
 			cfg = cfg.PaperScale()
 			cfg.Duration = 100 * sim.Millisecond
 			cfg.Drain = 400 * sim.Millisecond
 		}
-		fmt.Println("coflow CCT speedup with HPCC and Physical w/o CC, load 70%")
-		printCoflow(exp.Fig12Coflow(cfg, false, exp.HPCCPhysical(8), exp.NoCCPhysicalIdeal()))
+		fmt.Fprintln(w, "coflow CCT speedup with HPCC and Physical w/o CC, load 70%")
+		printCoflow(w, exp.Fig12Coflow(cfg, false, exp.HPCCPhysical(8), exp.NoCCPhysicalIdeal()))
 
 	case "fig12c":
 		cfg := exp.DefaultMLConfig(exp.PrioPlusSwift())
-		cfg.Seed = *seed
-		if *full {
+		cfg.Seed = o.seed
+		if o.full {
 			cfg.GradScale = 1
 			cfg.Duration = sim.Second
 		}
@@ -213,7 +258,7 @@ func main() {
 		for _, r := range exp.Fig12ML(cfg) {
 			tb.AddRow(r.Scheme, r.ResNet, r.VGG, r.Overall)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig13":
 		tols := []float64{10, 20, 30}
@@ -222,13 +267,13 @@ func main() {
 		for _, p := range exp.Fig13(tols, ranges) {
 			tb.AddRow(p.ToleranceUS, p.RangeUS, p.GapPerFlow)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig14":
 		base := exp.DefaultFlowSchedConfig(exp.PrioPlusSwift(), 12)
-		base.Seed = *seed
+		base.Seed = o.seed
 		base.Load = 0.5
-		if !*full {
+		if !o.full {
 			base.K = 4
 			base.Duration = 5 * sim.Millisecond
 			base.Drain = 20 * sim.Millisecond
@@ -238,105 +283,105 @@ func main() {
 		for _, r := range rows {
 			tb.AddRow(r.Scheme, r.Band, r.Class, r.Norm)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "fig16":
 		base := exp.DefaultFlowSchedConfig(exp.PrioPlusSwift(), 8)
-		base.Seed = *seed
-		if !*full {
+		base.Seed = o.seed
+		if !o.full {
 			base.K = 4
 			base.Duration = 5 * sim.Millisecond
 			base.Drain = 20 * sim.Millisecond
 		}
-		printFig11(exp.Fig16(8, base))
+		printFig11(w, exp.Fig16(8, base))
 
 	case "ablation":
-		fmt.Println("== filter (two-consecutive) vs none, 2x noise ==")
+		fmt.Fprintln(w, "== filter (two-consecutive) vs none, 2x noise ==")
 		tb := stats.NewTable("consec limit", "spurious yields", "utilization")
 		for _, r := range exp.AblationFilter() {
 			tb.AddRow(r.ConsecLimit, r.Yields, r.Util)
 		}
-		tb.Render(os.Stdout)
-		fmt.Println("\n== flow-cardinality estimation on/off, 40-flow incast ==")
+		tb.Render(w)
+		fmt.Fprintln(w, "\n== flow-cardinality estimation on/off, 40-flow incast ==")
 		tb = stats.NewTable("estimation", "frac above D_limit")
 		for _, r := range exp.AblationCardinality(40) {
 			tb.AddRow(r.Estimation, r.OverLimitFrac)
 		}
-		tb.Render(os.Stdout)
-		fmt.Println("\n== probe schedule: collision avoidance vs naive per-RTT ==")
+		tb.Render(w)
+		fmt.Fprintln(w, "\n== probe schedule: collision avoidance vs naive per-RTT ==")
 		tb = stats.NewTable("schedule", "probe load (Gb/s)", "reclaim (us)")
 		for _, r := range exp.AblationProbe() {
 			tb.AddRow(r.Scheme, r.ProbeGbps, r.ReclaimUS)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "ext-ecn":
 		r := exp.ECNPrio()
-		fmt.Println("Appendix B extension: per-virtual-priority ECN thresholds, DCTCP flows in one queue")
-		fmt.Printf("  high-vprio share %.2f, utilization %.2f\n", r.HighShare, r.Util)
+		fmt.Fprintln(w, "Appendix B extension: per-virtual-priority ECN thresholds, DCTCP flows in one queue")
+		fmt.Fprintf(w, "  high-vprio share %.2f, utilization %.2f\n", r.HighShare, r.Util)
 
 	case "ext-weighted":
 		r := exp.WeightedVP()
-		fmt.Println("§7 extension: weighted sharing within one channel, strict across channels")
-		fmt.Printf("  weight-4 : weight-1 share ratio %.2f (ideal 4)\n", r.ShareRatio)
-		fmt.Printf("  higher-channel flow share while active %.2f (strictness preserved)\n", r.HighStrict)
+		fmt.Fprintln(w, "§7 extension: weighted sharing within one channel, strict across channels")
+		fmt.Fprintf(w, "  weight-4 : weight-1 share ratio %.2f (ideal 4)\n", r.ShareRatio)
+		fmt.Fprintf(w, "  higher-channel flow share while active %.2f (strictness preserved)\n", r.HighStrict)
 
 	case "tab2":
 		tb := stats.NewTable("strategy", "bytes delayed (analytic)", "max extra buffer (analytic)", "measured extra buffer (BDP)")
 		for _, r := range exp.Table2() {
 			tb.AddRow(r.Strategy, r.BytesDelayed, r.MaxExtraBuffer, r.SimExtraBDP)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	case "appd":
 		ns := []int{10, 40, 150}
-		if !*full {
+		if !o.full {
 			ns = []int{10, 40}
 		}
 		tb := stats.NewTable("flows", "measured fluctuation (us)", "bound (us)", "within bound")
 		for _, r := range exp.AppD(ns) {
 			tb.AddRow(r.N, r.MeasuredUS, r.BoundUS, r.WithinBound)
 		}
-		tb.Render(os.Stdout)
+		tb.Render(w)
 
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", expID)
-		usage()
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", expID)
 	}
+	return nil
 }
 
-func printSeries(enabled bool, series []exp.Series) {
+func printSeries(w io.Writer, enabled bool, series []exp.Series) {
 	if !enabled {
 		return
 	}
 	for _, s := range series {
-		fmt.Printf("# %s\n", s.Label)
+		fmt.Fprintf(w, "# %s\n", s.Label)
 		for i := range s.T {
-			fmt.Printf("%.3f %.2f\n", s.T[i], s.V[i])
+			fmt.Fprintf(w, "%.3f %.2f\n", s.T[i], s.V[i])
 		}
 	}
 }
 
-func printFig11(rows []exp.Fig11Row) {
+func printFig11(w io.Writer, rows []exp.Fig11Row) {
 	tb := stats.NewTable("scheme", "prios", "avg", "p99", "avg-small", "p99-small", "avg-mid", "p99-mid", "avg-large", "p99-large")
 	for _, r := range rows {
 		tb.AddRow(r.Scheme, r.NPrios, r.AvgAll, r.P99All, r.AvgSmall, r.P99Small, r.AvgMid, r.P99Mid, r.AvgLarge, r.P99Large)
 	}
-	fmt.Println("FCT slowdown (x ideal) by scheme and priority count")
-	tb.Render(os.Stdout)
+	fmt.Fprintln(w, "FCT slowdown (x ideal) by scheme and priority count")
+	tb.Render(w)
 }
 
-func printCoflow(rows []exp.CoflowSpeedups) {
+func printCoflow(w io.Writer, rows []exp.CoflowSpeedups) {
 	tb := stats.NewTable("scheme", "high-4 groups", "low-4 groups", "overall")
 	for _, r := range rows {
 		tb.AddRow(r.Scheme, r.High4, r.Low4, r.Overall)
 	}
-	tb.Render(os.Stdout)
+	tb.Render(w)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-series]
+	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-series] [-cpuprofile f] [-memprofile f]
+       prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full]
 
 experiments:
   fig2     switch-chip buffer/bandwidth ratios
@@ -358,5 +403,6 @@ experiments:
   appd     Swift fluctuation bound check
   ablation     design-choice ablations (filter, cardinality, probe)
   ext-ecn      Appendix B extension: per-priority ECN marking
-  ext-weighted §7 extension: weighted virtual priority`)
+  ext-weighted §7 extension: weighted virtual priority
+  all          every experiment above, fanned across a worker pool`)
 }

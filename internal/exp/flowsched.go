@@ -6,6 +6,7 @@ import (
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
+	"prioplus/internal/obs"
 	"prioplus/internal/sched"
 	"prioplus/internal/sim"
 	"prioplus/internal/stats"
@@ -32,6 +33,10 @@ type FlowSchedConfig struct {
 	PerPrioWorkload bool
 	// NoiseScale scales the injected delay-measurement noise (1 = paper).
 	NoiseScale float64
+	// Obs, when non-nil, is attached to the run's network (trace sink and
+	// live flow counters) and filled with the final device metrics; see
+	// docs/OBSERVABILITY.md for the metric namespace.
+	Obs *obs.Recorder
 }
 
 // DefaultFlowSchedConfig returns the paper's configuration at a reduced
@@ -80,6 +85,9 @@ func RunFlowSched(cfg FlowSchedConfig) FlowSchedResult {
 	nw := topo.FatTree(eng, cfg.K, tc)
 	net := harness.New(nw, cfg.Seed)
 	cfg.Scheme.Post(net)
+	if cfg.Obs != nil {
+		net.Observe(cfg.Obs)
+	}
 	if cfg.AckPrioData {
 		net.SetAckPrioData()
 	}
@@ -144,6 +152,9 @@ func RunFlowSched(cfg FlowSchedConfig) FlowSchedResult {
 	for _, sw := range nw.Switches {
 		res.Pauses += sw.PausesSent()
 		res.Drops += sw.Drops()
+	}
+	if cfg.Obs != nil {
+		net.CollectMetrics(cfg.Obs)
 	}
 	return res
 }

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"testing"
+
+	"prioplus/internal/obs"
+	"prioplus/internal/sim"
+)
+
+// TestRunFlowSchedObs: a flow-scheduling run with an attached recorder
+// emits the live flow aggregates and the post-run device metrics.
+func TestRunFlowSchedObs(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultFlowSchedConfig(PrioPlusSwift(), 4)
+	cfg.K = 4
+	cfg.Duration = 2 * sim.Millisecond
+	cfg.Drain = 5 * sim.Millisecond
+	cfg.Obs = obs.NewRecorder()
+	res := RunFlowSched(cfg)
+	if res.Flows.Count() == 0 {
+		t.Fatal("no flows completed")
+	}
+	snap := cfg.Obs.Metrics.Snapshot()
+	if got := snap["net/flows_completed"]; got != float64(res.Flows.Count()) {
+		t.Errorf("net/flows_completed = %v, want %d", got, res.Flows.Count())
+	}
+	if snap["net/tx_packets"] <= 0 || snap["net/rx_packets"] <= 0 {
+		t.Errorf("device aggregates missing: tx=%v rx=%v", snap["net/tx_packets"], snap["net/rx_packets"])
+	}
+	if snap["net/queue_hwm_bytes"] <= 0 {
+		t.Errorf("net/queue_hwm_bytes = %v, want > 0 under 0.7 load", snap["net/queue_hwm_bytes"])
+	}
+}

@@ -192,10 +192,8 @@ func (rs *RateSampler) Between(from, to sim.Time, key int) float64 {
 // packet arriving at the host adds its payload to the counter keyed by the
 // packet's priority (or flow, if byFlow).
 func (n *Net) SinkCounter(host int, m *ThroughputMeter, key func(pkt *netsim.Packet) int) {
-	st := n.Stacks[host]
 	h := n.Topo.Hosts[host]
 	inner := h.Sink
-	_ = st
 	h.Sink = func(pkt *netsim.Packet) {
 		if pkt.Type == netsim.Data {
 			*m.Counter(key(pkt)) += int64(pkt.Payload)

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"strconv"
+
+	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
+	"prioplus/internal/transport"
+)
+
+// Observe attaches an observability recorder to the network: the
+// recorder's trace sink (if any) is installed on every switch, fabric
+// port, and host NIC, and a flow-completion hook keeps the recorder's
+// aggregate flow counters (net/flows_completed, net/retransmits, net/rtos,
+// net/probes_sent, net/fct_sum_us) up to date as flows finish. Observe
+// owns each stack's OnFlowDone hook. Call CollectMetrics after the run to
+// fill in the switch/port counters; docs/OBSERVABILITY.md documents every
+// metric name.
+//
+// Call Observe before traffic starts. With a nil rec.Trace the per-packet
+// hot path is untouched; the per-flow hook is a handful of counter adds.
+func (n *Net) Observe(rec *obs.Recorder) {
+	if rec.Trace != nil {
+		for _, sw := range n.Topo.Switches {
+			sw.Trace = rec.Trace
+			for _, p := range sw.Ports {
+				p.Trace = rec.Trace
+			}
+		}
+		for _, h := range n.Topo.Hosts {
+			h.NIC.Trace = rec.Trace
+		}
+	}
+	flows := rec.Metrics.Counter("net/flows_completed")
+	retx := rec.Metrics.Counter("net/retransmits")
+	rtos := rec.Metrics.Counter("net/rtos")
+	probes := rec.Metrics.Counter("net/probes_sent")
+	fctSum := rec.Metrics.Counter("net/fct_sum_us")
+	trace := rec.Trace
+	for _, st := range n.Stacks {
+		st.OnFlowDone = func(fs transport.FlowStats) {
+			flows.Add(1)
+			retx.Add(float64(fs.Retransmits))
+			rtos.Add(float64(fs.RTOs))
+			probes.Add(float64(fs.ProbesSent))
+			fctSum.Add(fs.FCT.Micros())
+			if trace != nil {
+				trace.Trace(obs.Event{
+					T: n.Eng.Now(), Kind: obs.FlowDone,
+					Flow: fs.ID, Bytes: int(fs.Size),
+					Seq: int64(fs.FCT), QLen: int(fs.Retransmits),
+				})
+			}
+		}
+	}
+}
+
+// CollectMetrics walks the network and records every device counter and
+// high-water mark into the recorder's registry. Call it once, after the
+// run; calling it again would double-count the counters. The metric
+// namespace — net/ aggregates, switch/<name>/, port/<dev>:<idx>/, and
+// host/<id>/ — is documented in docs/OBSERVABILITY.md.
+func (n *Net) CollectMetrics(rec *obs.Recorder) {
+	m := rec.Metrics
+	// The flow aggregates exist even if Observe was never called (they
+	// read zero then), so the documented metric set is always complete.
+	m.Counter("net/flows_completed")
+	m.Counter("net/retransmits")
+	m.Counter("net/rtos")
+	m.Counter("net/probes_sent")
+	m.Counter("net/fct_sum_us")
+
+	txPkts := m.Counter("net/tx_packets")
+	txBytes := m.Counter("net/tx_bytes")
+	rxPkts := m.Counter("net/rx_packets")
+	drops := m.Counter("net/drops")
+	dropBytes := m.Counter("net/drop_bytes")
+	marks := m.Counter("net/ecn_marks")
+	pauses := m.Counter("net/pfc_pauses")
+	pauseUS := m.Counter("net/pfc_pause_us")
+	bufHWM := m.Gauge("net/buffer_hwm_bytes")
+	queueHWM := m.Gauge("net/queue_hwm_bytes")
+
+	collectPort := func(dev string, p *netsim.Port) {
+		prefix := "port/" + dev + ":" + itoa(p.Index) + "/"
+		m.Counter(prefix + "tx_packets").Add(float64(p.TxPackets))
+		m.Counter(prefix + "tx_bytes").Add(float64(p.TxBytes))
+		m.Counter(prefix + "paused_us").Add(p.PausedFor.Micros())
+		m.Gauge(prefix + "queue_hwm_bytes").Observe(float64(p.QueueHWM))
+		txPkts.Add(float64(p.TxPackets))
+		txBytes.Add(float64(p.TxBytes))
+		pauseUS.Add(p.PausedFor.Micros())
+		queueHWM.Observe(float64(p.QueueHWM))
+	}
+	for _, sw := range n.Topo.Switches {
+		prefix := "switch/" + sw.Name + "/"
+		m.Counter(prefix + "rx_packets").Add(float64(sw.RxPackets))
+		m.Counter(prefix + "drops").Add(float64(sw.Drops()))
+		m.Counter(prefix + "drop_bytes").Add(float64(sw.DropBytes()))
+		m.Counter(prefix + "ecn_marks").Add(float64(sw.ECNMarks))
+		m.Counter(prefix + "pfc_pauses").Add(float64(sw.PausesSent()))
+		m.Gauge(prefix + "buffer_hwm_bytes").Observe(float64(sw.BufferHWM()))
+		drops.Add(float64(sw.Drops()))
+		dropBytes.Add(float64(sw.DropBytes()))
+		marks.Add(float64(sw.ECNMarks))
+		pauses.Add(float64(sw.PausesSent()))
+		bufHWM.Observe(float64(sw.BufferHWM()))
+		for _, p := range sw.Ports {
+			collectPort(sw.Name, p)
+		}
+	}
+	for _, h := range n.Topo.Hosts {
+		m.Counter("host/" + itoa(h.ID) + "/rx_packets").Add(float64(h.RxPackets))
+		rxPkts.Add(float64(h.RxPackets))
+		collectPort(h.DeviceName(), h.NIC)
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

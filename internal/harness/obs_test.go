@@ -1,0 +1,146 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
+	"prioplus/internal/sim"
+)
+
+// TestSinkCounterChains is the regression test for the stacked-sink bug:
+// attaching a second SinkCounter to the same host must chain to the first,
+// so both meters see every delivered packet.
+func TestSinkCounterChains(t *testing.T) {
+	net, eng := newNet(3)
+	byPrio := harness.NewThroughputMeter()
+	bySrc := harness.NewThroughputMeter()
+	net.SinkCounter(2, byPrio, func(p *netsim.Packet) int { return p.Prio })
+	net.SinkCounter(2, bySrc, func(p *netsim.Packet) int { return p.Src })
+	size := int64(50_000)
+	done := 0
+	for src := 0; src < 2; src++ {
+		net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: size, Prio: 0,
+			Algo: swift(net, src, 2), OnComplete: func(sim.Time) { done++ }})
+	}
+	eng.RunUntil(5 * sim.Millisecond)
+	if done != 2 {
+		t.Fatalf("%d/2 flows completed: second SinkCounter broke delivery", done)
+	}
+	if got := bySrc.Snapshot(); got[0] != size || got[1] != size {
+		t.Errorf("outer counter = %v, want %d per source", got, size)
+	}
+	if got := byPrio.Snapshot(); got[0] != 2*size {
+		t.Errorf("inner counter = %v, want %d on prio 0: chain dropped the first sink", got, 2*size)
+	}
+}
+
+// netAggregates is every net/ metric CollectMetrics emits — the list in
+// docs/OBSERVABILITY.md. The test below fails if any goes missing.
+var netAggregates = []string{
+	"net/flows_completed", "net/retransmits", "net/rtos",
+	"net/probes_sent", "net/fct_sum_us",
+	"net/tx_packets", "net/tx_bytes", "net/rx_packets",
+	"net/drops", "net/drop_bytes", "net/ecn_marks",
+	"net/pfc_pauses", "net/pfc_pause_us",
+	"net/buffer_hwm_bytes", "net/queue_hwm_bytes",
+}
+
+// perEntitySuffixes maps a name prefix to the metrics every entity of that
+// kind must report (also the docs/OBSERVABILITY.md list).
+var perEntitySuffixes = map[string][]string{
+	"switch/star/": {"rx_packets", "drops", "drop_bytes", "ecn_marks",
+		"pfc_pauses", "buffer_hwm_bytes"},
+	"port/star:0/":  {"tx_packets", "tx_bytes", "paused_us", "queue_hwm_bytes"},
+	"port/host0:0/": {"tx_packets", "tx_bytes", "paused_us", "queue_hwm_bytes"},
+	"host/2/":       {"rx_packets"},
+}
+
+func TestObserveAndCollectMetrics(t *testing.T) {
+	net, eng := newNet(3)
+	var traceBuf bytes.Buffer
+	rec := obs.NewRecorder()
+	sink := obs.NewJSONLSink(&traceBuf)
+	rec.Trace = sink
+	net.Observe(rec)
+
+	size := int64(100_000)
+	for src := 0; src < 2; src++ {
+		net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: size, Prio: 0, Algo: swift(net, src, 2)})
+	}
+	eng.RunUntil(5 * sim.Millisecond)
+	net.CollectMetrics(rec)
+
+	m := rec.Metrics
+	for _, name := range netAggregates {
+		if _, ok := m.Value(name); !ok {
+			t.Errorf("metric %q not emitted", name)
+		}
+	}
+	for prefix, suffixes := range perEntitySuffixes {
+		for _, s := range suffixes {
+			if _, ok := m.Value(prefix + s); !ok {
+				t.Errorf("metric %q not emitted", prefix+s)
+			}
+		}
+	}
+
+	snap := m.Snapshot()
+	if snap["net/flows_completed"] != 2 {
+		t.Errorf("net/flows_completed = %v, want 2", snap["net/flows_completed"])
+	}
+	if snap["net/fct_sum_us"] <= 0 {
+		t.Errorf("net/fct_sum_us = %v, want > 0", snap["net/fct_sum_us"])
+	}
+	if snap["net/tx_packets"] <= 0 || snap["net/tx_bytes"] < float64(2*size) {
+		t.Errorf("tx aggregates = %v pkts / %v bytes, want traffic", snap["net/tx_packets"], snap["net/tx_bytes"])
+	}
+	if snap["net/rx_packets"] <= 0 {
+		t.Errorf("net/rx_packets = %v, want > 0", snap["net/rx_packets"])
+	}
+	if snap["net/queue_hwm_bytes"] <= 0 {
+		t.Errorf("net/queue_hwm_bytes = %v, want > 0 (two senders share one egress)", snap["net/queue_hwm_bytes"])
+	}
+	// The host's own view must agree with the aggregate.
+	if snap["host/2/rx_packets"] <= 0 {
+		t.Errorf("host/2/rx_packets = %v, want > 0", snap["host/2/rx_packets"])
+	}
+
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trace := traceBuf.String()
+	for _, kind := range []string{`"kind":"enq"`, `"kind":"deq"`, `"kind":"fct"`} {
+		if !strings.Contains(trace, kind) {
+			t.Errorf("trace has no %s events", kind)
+		}
+	}
+	if sink.Events < 10 {
+		t.Errorf("trace recorded only %d events", sink.Events)
+	}
+}
+
+// TestCollectMetricsWithoutObserve: the documented flow aggregates must
+// exist (at zero) even when Observe was never attached, so reports always
+// have the full metric set.
+func TestCollectMetricsWithoutObserve(t *testing.T) {
+	net, eng := newNet(3)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 10_000, Prio: 0, Algo: swift(net, 0, 2)})
+	eng.RunUntil(5 * sim.Millisecond)
+	rec := obs.NewRecorder()
+	net.CollectMetrics(rec)
+	for _, name := range netAggregates {
+		if _, ok := rec.Metrics.Value(name); !ok {
+			t.Errorf("metric %q missing without Observe", name)
+		}
+	}
+	if v, _ := rec.Metrics.Value("net/flows_completed"); v != 0 {
+		t.Errorf("net/flows_completed = %v without Observe, want 0", v)
+	}
+	if v, _ := rec.Metrics.Value("net/tx_packets"); v <= 0 {
+		t.Errorf("net/tx_packets = %v, want > 0: device counters are always on", v)
+	}
+}

@@ -83,9 +83,10 @@ func DefaultBufferConfig() BufferConfig {
 // accounted per ingress (port, priority) class; each class may spill into
 // its reserved headroom after its pause threshold is crossed.
 type sharedBuffer struct {
-	cfg    BufferConfig
-	shared int // bytes available to the shared pool
-	used   int // shared pool occupancy
+	cfg     BufferConfig
+	shared  int // bytes available to the shared pool
+	used    int // shared pool occupancy
+	UsedHWM int // highest shared-pool occupancy seen
 
 	// Per ingress (port, prio) state, indexed [port][prio].
 	ingBytes [][]int
@@ -139,13 +140,22 @@ func (b *sharedBuffer) xoff() int {
 	return t
 }
 
+// charge adds size bytes to the shared-pool occupancy, tracking the
+// high-water mark.
+func (b *sharedBuffer) charge(size int) {
+	b.used += size
+	if b.used > b.UsedHWM {
+		b.UsedHWM = b.used
+	}
+}
+
 // admitLossless charges an arriving packet to ingress class (port, prio).
 // It returns whether the packet is admitted and whether a PFC pause should
 // be sent upstream.
 func (b *sharedBuffer) admitLossless(port, prio, size int) (admitted, sendPause bool) {
 	ing := b.ingBytes[port][prio] + size
 	if b.ingBytes[port][prio] <= b.xoff() && b.used+size <= b.shared {
-		b.used += size
+		b.charge(size)
 	} else {
 		// Over threshold (or shared pool exhausted): spill into headroom.
 		if b.hdrBytes[port][prio]+size > b.cfg.HeadroomBytes {
@@ -169,7 +179,7 @@ func (b *sharedBuffer) admitLossless(port, prio, size int) (admitted, sendPause 
 // always admitted.
 func (b *sharedBuffer) admitLossy(egressQLen, size int) bool {
 	if egressQLen+size <= b.cfg.PerQueueMin {
-		b.used += size
+		b.charge(size)
 		return true
 	}
 	limit := b.cfg.DTAlpha * float64(b.SharedFree())
@@ -178,7 +188,7 @@ func (b *sharedBuffer) admitLossy(egressQLen, size int) bool {
 		b.DropBytes += int64(size)
 		return false
 	}
-	b.used += size
+	b.charge(size)
 	return true
 }
 

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -81,6 +82,11 @@ type Port struct {
 	// senders the hidden local backlog stays bounded.
 	HWTimestamp bool
 
+	// Trace, when non-nil, receives enqueue/dequeue/pause/resume events
+	// for this port. Nil (the default) costs one predictable branch per
+	// packet; install via harness.Net.Observe.
+	Trace obs.Tracer
+
 	queues    []pktQueue
 	paused    []bool
 	sending   bool
@@ -89,6 +95,7 @@ type Port struct {
 	// Counters.
 	TxBytes   int64
 	TxPackets int64
+	QueueHWM  int      // largest single priority-queue occupancy seen, bytes
 	PausedFor sim.Time // cumulative time with at least one priority paused
 	pausedAt  sim.Time
 	npaused   int
@@ -146,6 +153,17 @@ func (p *Port) clampPrio(prio int) int {
 func (p *Port) Enqueue(it TxItem) {
 	q := p.clampPrio(it.Pkt.Prio)
 	p.queues[q].push(it)
+	if p.queues[q].bytes > p.QueueHWM {
+		p.QueueHWM = p.queues[q].bytes
+	}
+	if p.Trace != nil {
+		p.Trace.Trace(obs.Event{
+			T: p.Eng.Now(), Kind: obs.Enqueue,
+			Dev: p.Owner.DeviceName(), Port: p.Index, Queue: q,
+			Flow: it.Pkt.FlowID, Seq: it.Pkt.Seq,
+			Bytes: it.Pkt.Wire, QLen: p.queues[q].bytes,
+		})
+	}
 	if !p.sending {
 		p.startTx()
 	}
@@ -158,6 +176,16 @@ func (p *Port) SetPaused(prio int, on bool) {
 		return
 	}
 	p.paused[q] = on
+	if p.Trace != nil {
+		kind := obs.Resume
+		if on {
+			kind = obs.Pause
+		}
+		p.Trace.Trace(obs.Event{
+			T: p.Eng.Now(), Kind: kind,
+			Dev: p.Owner.DeviceName(), Port: p.Index, Queue: q,
+		})
+	}
 	if on {
 		if p.npaused == 0 {
 			p.pausedAt = p.Eng.Now()
@@ -198,6 +226,14 @@ func (p *Port) transmit(it TxItem, q int) {
 	p.TxPackets++
 	if it.Sw != nil {
 		it.Sw.releaseItem(it)
+	}
+	if p.Trace != nil {
+		p.Trace.Trace(obs.Event{
+			T: p.Eng.Now(), Kind: obs.Dequeue,
+			Dev: p.Owner.DeviceName(), Port: p.Index, Queue: q,
+			Flow: pkt.FlowID, Seq: pkt.Seq,
+			Bytes: pkt.Wire, QLen: p.queues[q].bytes,
+		})
 	}
 	if p.HWTimestamp && (pkt.Type == Data || pkt.Type == Probe) {
 		pkt.SentAt = p.Eng.Now()

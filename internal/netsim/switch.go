@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type Switch struct {
 	// Routes maps a destination host ID to the candidate egress port
 	// indexes (ECMP set). Built by internal/topo.
 	Routes map[int][]int32
+
+	// Trace, when non-nil, receives drop and ECN-mark events for this
+	// switch (enqueue/dequeue events come from the ports). Install via
+	// harness.Net.Observe.
+	Trace obs.Tracer
 
 	buf *sharedBuffer
 	rng *rand.Rand
@@ -65,6 +71,12 @@ func (s *Switch) DeviceName() string { return s.Name }
 // Drops returns the number of packets dropped for buffer exhaustion.
 func (s *Switch) Drops() int64 { return s.buf.Drops }
 
+// DropBytes returns the bytes dropped for buffer exhaustion.
+func (s *Switch) DropBytes() int64 { return s.buf.DropBytes }
+
+// BufferHWM returns the shared-pool occupancy high-water mark in bytes.
+func (s *Switch) BufferHWM() int { return s.buf.UsedHWM }
+
 // PausesSent returns the number of PFC pause transitions generated.
 func (s *Switch) PausesSent() int64 { return s.buf.PausesSent }
 
@@ -97,10 +109,12 @@ func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 			in.SendPause(prio, true)
 		}
 		if !admitted {
+			s.traceDrop(pkt, out, prio)
 			return
 		}
 	} else {
 		if !s.buf.admitLossy(out.QueueBytes(prio), size) {
+			s.traceDrop(pkt, out, prio)
 			return
 		}
 	}
@@ -109,6 +123,14 @@ func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 		if s.Buffer.ecnMark(out.QueueBytes(prio)+size, pkt.VPrio, s.rng.Float64()) {
 			pkt.CE = true
 			s.ECNMarks++
+			if s.Trace != nil {
+				s.Trace.Trace(obs.Event{
+					T: s.Eng.Now(), Kind: obs.Mark,
+					Dev: s.Name, Port: out.Index, Queue: prio,
+					Flow: pkt.FlowID, Seq: pkt.Seq,
+					Bytes: size, QLen: out.QueueBytes(prio) + size,
+				})
+			}
 		}
 	}
 
@@ -118,6 +140,19 @@ func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 		InPort:   int32(inPort),
 		QPrio:    int16(prio),
 		Lossless: lossless,
+	})
+}
+
+// traceDrop emits a Drop event for a packet refused by buffer admission.
+func (s *Switch) traceDrop(pkt *Packet, out *Port, prio int) {
+	if s.Trace == nil {
+		return
+	}
+	s.Trace.Trace(obs.Event{
+		T: s.Eng.Now(), Kind: obs.Drop,
+		Dev: s.Name, Port: out.Index, Queue: prio,
+		Flow: pkt.FlowID, Seq: pkt.Seq,
+		Bytes: pkt.Wire, QLen: out.QueueBytes(prio),
 	})
 }
 

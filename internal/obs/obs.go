@@ -1,0 +1,147 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// for per-run counters and high-water marks, and an optional JSONL event
+// trace (see trace.go). It is designed around the engine-per-run model used
+// by internal/runner: every run owns a private Recorder alongside its
+// private sim.Engine, so nothing here takes locks and nothing is shared
+// across goroutines.
+//
+// The layer is zero-cost when disabled. Hot-path hooks in internal/netsim
+// and internal/transport are guarded by a single nil check (`if Trace !=
+// nil`, `if OnFlowDone != nil`); counter fields that are always maintained
+// (drops, ECN marks, pause time, high-water marks) are plain integer
+// updates the simulator was already paying for. The registry itself is
+// only walked once, after the run, by harness.Net.CollectMetrics.
+//
+// docs/OBSERVABILITY.md lists every metric name the harness emits, its
+// units, and which paper figure it validates.
+package obs
+
+// Counter is a monotonically increasing metric cell. The zero value is
+// ready to use. Counters are not safe for concurrent use: one run, one
+// goroutine, one registry.
+type Counter struct {
+	v float64
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n float64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge tracks a current value together with its high-water mark. The zero
+// value is ready to use.
+type Gauge struct {
+	v, max float64
+}
+
+// Observe sets the current value and raises the high-water mark if needed.
+func (g *Gauge) Observe(v float64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the most recently observed value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Max returns the high-water mark across all observations.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Registry is an ordered collection of named counters and gauges. Names
+// use a slash-separated hierarchy ("net/drops", "switch/tor0/ecn_marks");
+// the canonical names are documented in docs/OBSERVABILITY.md. Cells are
+// created on first use; creation order is preserved so reports are
+// deterministic.
+type Registry struct {
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Registering a name as both a counter and a gauge panics: it always
+// indicates a metric-name collision.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, clash := r.gauges[name]; clash {
+		panic("obs: metric " + name + " already registered as a gauge")
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, clash := r.counters[name]; clash {
+		panic("obs: metric " + name + " already registered as a counter")
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Names returns every registered metric name in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Value returns the current value of a metric (a counter's count, a
+// gauge's high-water mark) and whether the name is registered.
+func (r *Registry) Value(name string) (float64, bool) {
+	if c, ok := r.counters[name]; ok {
+		return c.Value(), true
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g.Max(), true
+	}
+	return 0, false
+}
+
+// Snapshot returns every metric by name. Counters report their count,
+// gauges their high-water mark (the registry's gauges all track maxima:
+// buffer and queue occupancy peaks).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(r.order))
+	for _, name := range r.order {
+		v, _ := r.Value(name)
+		out[name] = v
+	}
+	return out
+}
+
+// Recorder bundles the per-run observability state: a metrics registry and
+// an optional event-trace sink. A nil Trace disables tracing entirely;
+// harness.Net.Observe only installs hooks for the parts that are non-nil.
+type Recorder struct {
+	// Metrics collects the run's counters and high-water marks. Filled by
+	// harness.Net.CollectMetrics after the run; flow-completion aggregates
+	// are updated live as flows finish.
+	Metrics *Registry
+	// Trace, when non-nil, receives one Event per simulator occurrence
+	// (enqueue, dequeue, drop, ECN mark, PFC pause/resume, flow
+	// completion). Use NewJSONLSink to stream events to a file.
+	Trace Tracer
+}
+
+// NewRecorder returns a recorder with an empty registry and no trace sink.
+func NewRecorder() *Recorder {
+	return &Recorder{Metrics: NewRegistry()}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"prioplus/internal/sim"
+)
+
+// Kind identifies what a trace Event records.
+type Kind uint8
+
+// Event kinds. Enqueue/Dequeue/Drop/Mark are per-packet switch and port
+// events; Pause/Resume are PFC state transitions on an egress queue;
+// FlowDone is a transport-level flow completion.
+const (
+	Enqueue Kind = iota
+	Dequeue
+	Drop
+	Mark
+	Pause
+	Resume
+	FlowDone
+)
+
+var kindNames = [...]string{"enq", "deq", "drop", "mark", "pause", "resume", "fct"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one simulator occurrence. Field meaning varies slightly by
+// kind; unused fields are zero and omitted from the JSONL encoding:
+//
+//   - Enqueue/Dequeue/Drop/Mark: Dev/Port/Queue locate the egress queue,
+//     Flow/Seq/Bytes identify the packet, QLen is the queue occupancy in
+//     bytes after the event took effect.
+//   - Pause/Resume: Dev/Port/Queue locate the paused egress queue.
+//   - FlowDone: Flow is the flow ID, Bytes its size, QLen its retransmit
+//     count, and Seq its FCT in picoseconds.
+type Event struct {
+	T     sim.Time // simulated time, picoseconds
+	Kind  Kind
+	Dev   string // device name ("host3", "tor0/agg1/core2"...)
+	Port  int    // port index within the device
+	Queue int    // priority queue index
+	Flow  int64
+	Seq   int64
+	Bytes int
+	QLen  int
+}
+
+// Tracer receives trace events. Implementations are not safe for
+// concurrent use; attach one tracer per run.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// TraceFunc adapts a function to the Tracer interface.
+type TraceFunc func(ev Event)
+
+// Trace implements Tracer.
+func (f TraceFunc) Trace(ev Event) { f(ev) }
+
+// JSONLSink streams events as one JSON object per line. Encoding is
+// hand-rolled (no reflection) so tracing a multi-million-event run stays
+// cheap; numeric fields that are zero are omitted. Call Flush before
+// reading the output.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+
+	// Events counts the records written.
+	Events int64
+}
+
+// NewJSONLSink returns a sink writing JSONL records to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Trace implements Tracer.
+func (s *JSONLSink) Trace(ev Event) {
+	b := s.buf[:0]
+	b = append(b, `{"t_ps":`...)
+	b = strconv.AppendInt(b, int64(ev.T), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Dev != "" {
+		b = append(b, `,"dev":"`...)
+		b = append(b, ev.Dev...) // device names contain no JSON metacharacters
+		b = append(b, '"')
+	}
+	b = appendField(b, `,"port":`, int64(ev.Port))
+	b = appendField(b, `,"q":`, int64(ev.Queue))
+	b = appendField(b, `,"flow":`, ev.Flow)
+	b = appendField(b, `,"seq":`, ev.Seq)
+	b = appendField(b, `,"bytes":`, int64(ev.Bytes))
+	b = appendField(b, `,"qlen":`, int64(ev.QLen))
+	b = append(b, '}', '\n')
+	s.buf = b
+	s.w.Write(b)
+	s.Events++
+}
+
+func appendField(b []byte, key string, v int64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = append(b, key...)
+	return strconv.AppendInt(b, v, 10)
+}
+
+// Flush writes any buffered records to the underlying writer.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }

@@ -1,0 +1,159 @@
+package runner_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"prioplus/internal/cc"
+	"prioplus/internal/harness"
+	"prioplus/internal/runner"
+	"prioplus/internal/sim"
+	"prioplus/internal/topo"
+)
+
+// simTask builds a task running a real simulation — its own engine, star
+// topology, and two Swift flows — so parallel execution exercises the
+// engine-per-run isolation the pool depends on. The output is a rendering
+// of the flows' completion times, deterministic for a given seed.
+func simTask(name string, seed int64) runner.Task {
+	return runner.Task{
+		Name: name,
+		Run: func() (string, map[string]float64) {
+			eng := sim.NewEngine()
+			cfg := topo.DefaultConfig()
+			net := harness.New(topo.Star(eng, 3, cfg), seed)
+			var fcts []sim.Time
+			for src := 0; src < 2; src++ {
+				algo := cc.NewSwift(cc.DefaultSwiftConfig(
+					net.Topo.BaseRTT(src, 2), net.BDPPackets(src, 2)))
+				net.AddFlow(harness.Flow{
+					Src: src, Dst: 2, Size: 200_000, Algo: algo,
+					OnComplete: func(f sim.Time) { fcts = append(fcts, f) },
+				})
+			}
+			eng.RunUntil(10 * sim.Millisecond)
+			return fmt.Sprintf("fcts=%v", fcts), map[string]float64{"flows": float64(len(fcts))}
+		},
+	}
+}
+
+func simTasks(n int) []runner.Task {
+	tasks := make([]runner.Task, n)
+	for i := range tasks {
+		tasks[i] = simTask(fmt.Sprintf("run%d", i), int64(i+1))
+	}
+	return tasks
+}
+
+// TestDeterministicAcrossWorkers is the batch-runner contract: the result
+// slice for -parallel 8 must be byte-identical to -parallel 1. Run with
+// -race this also drives eight concurrent engines to prove per-run
+// isolation.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	tasks := simTasks(8)
+	serial := runner.Run(tasks, runner.Options{Workers: 1})
+	parallel := runner.Run(tasks, runner.Options{Workers: 8})
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name || s.Index != p.Index {
+			t.Errorf("result %d identity differs: %q/%d vs %q/%d", i, s.Name, s.Index, p.Name, p.Index)
+		}
+		if s.Output != p.Output {
+			t.Errorf("result %d output differs:\n serial:   %q\n parallel: %q", i, s.Output, p.Output)
+		}
+		if !reflect.DeepEqual(s.Metrics, p.Metrics) {
+			t.Errorf("result %d metrics differ: %v vs %v", i, s.Metrics, p.Metrics)
+		}
+		if s.Output == "" || s.Output == "fcts=[]" {
+			t.Errorf("result %d produced no completions: %q", i, s.Output)
+		}
+	}
+}
+
+// TestEnginePerRunIsolation drives two simulations concurrently; under
+// `go test -race` any sharing between their engines would be reported.
+func TestEnginePerRunIsolation(t *testing.T) {
+	tasks := []runner.Task{simTask("a", 1), simTask("b", 2)}
+	results := runner.Run(tasks, runner.Options{Workers: 2})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %q failed: %v", r.Name, r.Err)
+		}
+		if r.Metrics["flows"] != 2 {
+			t.Errorf("run %q completed %v flows, want 2", r.Name, r.Metrics["flows"])
+		}
+	}
+}
+
+// TestPanicIsolation: a panicking run fails only its own result; the rest
+// of the batch completes and ordering is preserved.
+func TestPanicIsolation(t *testing.T) {
+	tasks := simTasks(4)
+	tasks[1] = runner.Task{
+		Name: "boom",
+		Run:  func() (string, map[string]float64) { panic("seed exploded") },
+	}
+	results := runner.Run(tasks, runner.Options{Workers: 4})
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "seed exploded") {
+		t.Errorf("panicking run error = %v, want panic value", results[1].Err)
+	}
+	if results[1].Output != "" {
+		t.Errorf("panicking run kept output %q", results[1].Output)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Errorf("run %d failed alongside the panic: %v", i, results[i].Err)
+		}
+		if results[i].Output == "" {
+			t.Errorf("run %d lost its output", i)
+		}
+	}
+}
+
+// TestTimeout: a hung run is abandoned and reported; the batch completes.
+func TestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	tasks := []runner.Task{
+		simTask("fast", 1),
+		{Name: "hung", Run: func() (string, map[string]float64) {
+			<-release
+			return "late", nil
+		}},
+	}
+	results := runner.Run(tasks, runner.Options{Workers: 2, Timeout: 50 * time.Millisecond})
+	if results[0].Err != nil {
+		t.Errorf("fast run failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, runner.ErrTimeout) {
+		t.Errorf("hung run error = %v, want ErrTimeout", results[1].Err)
+	}
+}
+
+// TestDefaultWorkers: Workers <= 0 picks a sane pool and still works.
+func TestDefaultWorkers(t *testing.T) {
+	results := runner.Run(simTasks(3), runner.Options{})
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("run %q failed: %v", r.Name, r.Err)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("run %q has no wall-clock measurement", r.Name)
+		}
+	}
+}

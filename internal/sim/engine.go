@@ -1,6 +1,20 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync/atomic"
+)
+
+// totalProcessed accumulates events executed across every engine in the
+// process, for batch-level events/sec reporting (internal/runner fans
+// engines across goroutines, so the counter is atomic). It is updated once
+// per RunUntil call, not per event, so the hot loop stays free of atomics.
+var totalProcessed atomic.Uint64
+
+// TotalProcessed returns the number of events executed by all engines in
+// this process since it started. Sample it before and after a batch to
+// compute an events/sec rate.
+func TotalProcessed() uint64 { return totalProcessed.Load() }
 
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // callers can cancel it; a zero Event must not be constructed directly.
@@ -134,6 +148,8 @@ func (e *Engine) Run() { e.RunUntil(Time(1<<63 - 1)) }
 // RunUntil executes events with timestamps <= end, then sets the clock to
 // end (unless the run was stopped early or ran out of events beyond end).
 func (e *Engine) RunUntil(end Time) {
+	start := e.processed
+	defer func() { totalProcessed.Add(e.processed - start) }()
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]

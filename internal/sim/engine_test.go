@@ -257,3 +257,21 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 	e.Run()
 }
+
+func TestTotalProcessedAccumulates(t *testing.T) {
+	before := TotalProcessed()
+	e := NewEngine()
+	const n = 100
+	for i := 0; i < n; i++ {
+		e.Post(Time(i), func() {})
+	}
+	e.RunUntil(Time(n))
+	if e.Processed() != n {
+		t.Fatalf("engine processed %d events, want %d", e.Processed(), n)
+	}
+	// Other tests may run engines concurrently, so the global can grow by
+	// more than n — but never less.
+	if got := TotalProcessed() - before; got < n {
+		t.Errorf("TotalProcessed grew by %d, want >= %d", got, n)
+	}
+}

@@ -31,8 +31,26 @@ type Stack struct {
 	// sample applied to every RTT measurement at this host.
 	Noise func() sim.Time
 
+	// OnFlowDone, when non-nil, is called with a summary of every flow
+	// this stack completes, just before the flow's own OnComplete. It is
+	// the transport's observability hook (harness.Net.Observe wires it to
+	// an obs.Recorder); nil costs one branch per flow completion.
+	OnFlowDone func(FlowStats)
+
 	senders map[int64]*Sender
 	recvs   map[int64]*recvState
+}
+
+// FlowStats summarizes a completed flow for observability: identity,
+// completion time, and the loss-recovery counters accumulated while it ran.
+type FlowStats struct {
+	ID          int64
+	Dst         int
+	Size        int64
+	FCT         sim.Time
+	Retransmits int64
+	RTOs        int64
+	ProbesSent  int64
 }
 
 // NewStack creates a transport stack bound to host h and installs it as
@@ -586,6 +604,17 @@ func (s *Sender) complete() {
 	}
 	s.paceEv, s.rtoEv, s.probeEv = nil, nil, nil
 	delete(s.st.senders, s.spec.ID)
+	if s.st.OnFlowDone != nil {
+		s.st.OnFlowDone(FlowStats{
+			ID:          s.spec.ID,
+			Dst:         s.spec.Dst,
+			Size:        s.spec.Size,
+			FCT:         s.st.Eng.Now() - s.startAt,
+			Retransmits: s.Retransmits,
+			RTOs:        s.RTOs,
+			ProbesSent:  s.ProbesSent,
+		})
+	}
 	if s.spec.OnComplete != nil {
 		s.spec.OnComplete(s.st.Eng.Now() - s.startAt)
 	}
