@@ -18,15 +18,26 @@ type Net struct {
 	Topo   *topo.Network
 	Stacks []*transport.Stack
 
+	// Pool is the run-wide packet pool: every stack draws its packets from
+	// it and every switch recycles drops into it, so the steady-state
+	// packet path allocates nothing.
+	Pool *netsim.PacketPool
+
 	nextFlow int64
 	seed     int64
 }
 
-// New installs transport stacks on every host of the topology.
+// New installs transport stacks on every host of the topology and wires
+// one shared packet pool through stacks and switches.
 func New(t *topo.Network, seed int64) *Net {
-	n := &Net{Eng: t.Eng, Topo: t, seed: seed}
+	n := &Net{Eng: t.Eng, Topo: t, seed: seed, Pool: netsim.NewPacketPool()}
 	for _, h := range t.Hosts {
-		n.Stacks = append(n.Stacks, transport.NewStack(t.Eng, h))
+		st := transport.NewStack(t.Eng, h)
+		st.Pool = n.Pool
+		n.Stacks = append(n.Stacks, st)
+	}
+	for _, sw := range t.Switches {
+		sw.Pool = n.Pool
 	}
 	return n
 }

@@ -35,6 +35,7 @@ func (h *Host) DeviceName() string { return fmt.Sprintf("host%d", h.ID) }
 
 // HandlePacket implements Device.
 func (h *Host) HandlePacket(pkt *Packet, in *Port) {
+	checkLive(pkt, "Host.HandlePacket")
 	h.RxPackets++
 	if pkt.Dst != h.ID {
 		panic(fmt.Sprintf("netsim: host %d received packet for host %d", h.ID, pkt.Dst))

@@ -21,7 +21,22 @@ const (
 
 // Serialize returns the time to put the given number of bytes on the wire.
 func (r Rate) Serialize(bytes int) sim.Time {
-	return sim.Time(int64(bytes) * 8 * int64(sim.Second) / int64(r) / 1)
+	bits := int64(bytes) * 8
+	if bits <= (1<<63-1)/int64(sim.Second) {
+		// Every packet-sized input takes this exact path.
+		return sim.Time(bits * int64(sim.Second) / int64(r))
+	}
+	// Multi-gigabyte inputs (whole-flow transfer times) would overflow
+	// bits*Second; split out the whole picoseconds-per-bit first. All
+	// standard rates divide sim.Second evenly, so rem is normally zero and
+	// the result stays exact.
+	q := int64(sim.Second) / int64(r)
+	rem := int64(sim.Second) % int64(r)
+	t := bits * q
+	if rem != 0 {
+		t += int64(float64(bits) * float64(rem) / float64(r))
+	}
+	return sim.Time(t)
 }
 
 // BytesPerSec returns the rate in bytes per second.
@@ -74,7 +89,10 @@ type INTRecord struct {
 }
 
 // Packet is a simulated packet. One Packet object travels hop by hop;
-// switches never copy it.
+// switches never copy it. Packets are normally drawn from a PacketPool and
+// recycled at the end of their life (see pool.go for the ownership rules);
+// the New* constructors below allocate pool-free packets for tests and
+// direct netsim use.
 type Packet struct {
 	Type   PacketType
 	FlowID int64
@@ -94,68 +112,43 @@ type Packet struct {
 	CE      bool // congestion experienced mark
 	Hash    uint32
 	INT     []INTRecord
+
+	// Pool bookkeeping: gen counts recycles (stamped at every Put) and
+	// inPool marks packets currently on a free list, so the simdebug build
+	// can panic on use-after-free instead of corrupting results.
+	gen    uint32
+	inPool bool
 }
 
-// NewData returns a data packet of the given payload size.
+// Generation returns the packet object's pool generation: the number of
+// times it has been recycled. Code that (illegally) holds a packet past a
+// handoff can snapshot it to detect reuse.
+func (pkt *Packet) Generation() uint32 { return pkt.gen }
+
+// NewData returns a freshly allocated data packet of the given payload
+// size. Hot paths should use PacketPool.Data instead.
 func NewData(flow int64, src, dst, prio int, seq int64, payload int) *Packet {
-	return &Packet{
-		Type:    Data,
-		FlowID:  flow,
-		Src:     src,
-		Dst:     dst,
-		Prio:    prio,
-		Seq:     seq,
-		Payload: payload,
-		Wire:    payload + HeaderBytes,
-		Hash:    flowHash(flow),
-	}
+	return (*PacketPool)(nil).Data(flow, src, dst, prio, seq, payload)
 }
 
-// NewAck returns an ACK for the given data packet, addressed back to its
-// sender at priority ackPrio.
+// NewAck returns a freshly allocated ACK for the given data packet,
+// addressed back to its sender at priority ackPrio. The ACK carries a copy
+// of the data packet's INT records, so the caller keeps full ownership of
+// the data packet. Hot paths should use PacketPool.Ack, which hands the
+// records off instead of copying.
 func NewAck(data *Packet, ackPrio int, cum int64) *Packet {
-	return &Packet{
-		Type:   Ack,
-		FlowID: data.FlowID,
-		Src:    data.Dst,
-		Dst:    data.Src,
-		Prio:   ackPrio,
-		Seq:    data.Seq,
-		AckSeq: cum,
-		Wire:   AckBytes,
-		SentAt: data.SentAt, // echo the sender's hardware timestamp
-		CE:     data.CE,
-		INT:    data.INT,
-		Hash:   flowHash(data.FlowID) ^ 0x9e3779b9,
-	}
+	return (*PacketPool)(nil).Ack(data, ackPrio, cum)
 }
 
-// NewProbe returns a minimal probe packet used by PrioPlus to sample the
-// path delay while transmission is suspended.
+// NewProbe returns a freshly allocated probe packet used by PrioPlus to
+// sample the path delay while transmission is suspended.
 func NewProbe(flow int64, src, dst, prio int) *Packet {
-	return &Packet{
-		Type:   Probe,
-		FlowID: flow,
-		Src:    src,
-		Dst:    dst,
-		Prio:   prio,
-		Wire:   AckBytes,
-		Hash:   flowHash(flow),
-	}
+	return (*PacketPool)(nil).Probe(flow, src, dst, prio)
 }
 
-// NewProbeAck returns the echo of a probe.
+// NewProbeAck returns a freshly allocated echo of a probe.
 func NewProbeAck(probe *Packet, ackPrio int) *Packet {
-	return &Packet{
-		Type:   ProbeAck,
-		FlowID: probe.FlowID,
-		Src:    probe.Dst,
-		Dst:    probe.Src,
-		Prio:   ackPrio,
-		Wire:   AckBytes,
-		SentAt: probe.SentAt,
-		Hash:   flowHash(probe.FlowID) ^ 0x9e3779b9,
-	}
+	return (*PacketPool)(nil).ProbeAck(probe, ackPrio)
 }
 
 // flowHash is a 64-to-32-bit mix used for ECMP path selection, so that a

@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package netsim
+
+// poolDebug gates the packet-pool poison checks. In the default build it is
+// a false constant, so every check compiles away to nothing.
+const poolDebug = false

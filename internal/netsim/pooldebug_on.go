@@ -1,0 +1,8 @@
+//go:build simdebug
+
+package netsim
+
+// poolDebug gates the packet-pool poison checks. Build (or test) with
+// -tags simdebug to panic on double-Put and on any recycled packet
+// re-entering the simulation, instead of silently corrupting results.
+const poolDebug = true

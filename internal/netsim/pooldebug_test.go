@@ -1,0 +1,52 @@
+//go:build simdebug
+
+package netsim
+
+import (
+	"testing"
+
+	"prioplus/internal/sim"
+)
+
+// These tests exercise the poison mode itself and only build with
+// -tags simdebug (the same pass CI runs the full suite under).
+
+func TestSimdebugDoublePutPanics(t *testing.T) {
+	pool := NewPacketPool()
+	pkt := pool.Data(1, 0, 1, 0, 0, 1000)
+	pool.Put(pkt)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic under simdebug")
+		}
+	}()
+	pool.Put(pkt)
+}
+
+func TestSimdebugUseAfterFreePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := NewPacketPool()
+	a := NewHost(eng, 0, 100*Gbps, sim.Microsecond, 1)
+	b := NewHost(eng, 1, 100*Gbps, sim.Microsecond, 1)
+	Connect(a.NIC, b.NIC)
+	pkt := pool.Data(1, 0, 1, 0, 0, 1000)
+	pool.Put(pkt)
+	defer func() {
+		if recover() == nil {
+			t.Error("sending a recycled packet did not panic under simdebug")
+		}
+	}()
+	a.Send(pkt)
+}
+
+func TestSimdebugAckFromRecycledPanics(t *testing.T) {
+	pool := NewPacketPool()
+	pkt := pool.Data(1, 0, 1, 0, 0, 1000)
+	pool.Put(pkt)
+	defer func() {
+		if recover() == nil {
+			t.Error("building an ACK from a recycled packet did not panic under simdebug")
+		}
+	}()
+	pool.Ack(pkt, 0, 1000)
+}

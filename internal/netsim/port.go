@@ -151,6 +151,7 @@ func (p *Port) clampPrio(prio int) int {
 // Enqueue places a packet on the egress queue for its priority and starts
 // the transmitter if idle.
 func (p *Port) Enqueue(it TxItem) {
+	checkLive(it.Pkt, "Port.Enqueue")
 	q := p.clampPrio(it.Pkt.Prio)
 	p.queues[q].push(it)
 	if p.queues[q].bytes > p.QueueHWM {
@@ -250,20 +251,36 @@ func (p *Port) transmit(it TxItem, q int) {
 	if p.Jitter != nil {
 		prop += p.Jitter()
 	}
-	peer := p.Peer
-	p.Eng.Post(ser+prop, func() {
-		peer.Owner.HandlePacket(pkt, peer)
-	})
+	// Closure-free delivery: deliverPacket is a package-level function and
+	// both arguments are pointers, so this schedules without allocating.
+	p.Eng.Post2(ser+prop, deliverPacket, p.Peer, pkt)
 	p.Eng.Post(ser, p.startTxFn)
+}
+
+// deliverPacket is the preallocated Post2 target for packet arrival at the
+// far end of a cable: a is the receiving *Port, b the *Packet.
+func deliverPacket(a, b any) {
+	in := a.(*Port)
+	in.Owner.HandlePacket(b.(*Packet), in)
+}
+
+// deliverPause is the preallocated Post2 target for PFC frame arrival: a
+// is the receiving *Port, b packs prio<<1|on. The packed value stays below
+// 256, so boxing it in any does not allocate.
+func deliverPause(a, b any) {
+	in := a.(*Port)
+	code := b.(int)
+	in.Owner.HandlePause(code>>1, code&1 == 1, in)
 }
 
 // SendPause delivers a PFC pause/resume frame to the peer device. PFC
 // frames are generated by the MAC and bypass the egress queues; they are
 // modeled as a fixed-size control frame that does not occupy the port.
 func (p *Port) SendPause(prio int, on bool) {
-	peer := p.Peer
 	d := p.Rate.Serialize(AckBytes) + p.PropDelay
-	p.Eng.Post(d, func() {
-		peer.Owner.HandlePause(prio, on, peer)
-	})
+	code := prio << 1
+	if on {
+		code |= 1
+	}
+	p.Eng.Post2(d, deliverPause, p.Peer, code)
 }

@@ -26,6 +26,11 @@ type Switch struct {
 	// harness.Net.Observe.
 	Trace obs.Tracer
 
+	// Pool, when non-nil, receives packets this switch drops, so lossy
+	// runs stay allocation-free. Installed by internal/harness; a nil pool
+	// just leaves dropped packets to the GC.
+	Pool *PacketPool
+
 	buf *sharedBuffer
 	rng *rand.Rand
 
@@ -91,6 +96,7 @@ func (s *Switch) HandlePause(prio int, on bool, in *Port) {
 
 // HandlePacket implements Device: route, admit, mark, enqueue.
 func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
+	checkLive(pkt, "Switch.HandlePacket")
 	s.RxPackets++
 	ports, ok := s.Routes[pkt.Dst]
 	if !ok || len(ports) == 0 {
@@ -110,11 +116,13 @@ func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 		}
 		if !admitted {
 			s.traceDrop(pkt, out, prio)
+			s.Pool.Put(pkt)
 			return
 		}
 	} else {
 		if !s.buf.admitLossy(out.QueueBytes(prio), size) {
 			s.traceDrop(pkt, out, prio)
+			s.Pool.Put(pkt)
 			return
 		}
 	}

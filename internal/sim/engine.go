@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"sync/atomic"
 )
 
@@ -16,61 +15,69 @@ var totalProcessed atomic.Uint64
 // compute an events/sec rate.
 func TotalProcessed() uint64 { return totalProcessed.Load() }
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it; a zero Event must not be constructed directly.
+// Event states. An event is pending from scheduling until it pops off the
+// heap; popping moves it to fired (executed) or lets a canceled event drain.
+const (
+	evPending uint8 = iota
+	evFired
+	evCanceled
+)
+
+// Event is a scheduled callback. It is returned by At and After so callers
+// can cancel it; a zero Event must not be constructed directly.
+//
+// Ownership: once an event has fired or been canceled, the engine reclaims
+// the object for reuse — the caller must drop its reference at that point
+// (the idiomatic pattern is to nil the field as the first statement of the
+// callback, and to nil it right after Cancel). Calling Cancel on a stale
+// pointer may cancel an unrelated future event.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // position in the heap, -1 once popped
-	canceled bool
-	recycle  bool // fire-and-forget: no caller holds a reference
+	at    Time
+	seq   uint64
+	state uint8
+	fn    func()
+	// Closure-free delivery payload (Post2): fn2 is a preallocated function
+	// and a0/a1 its arguments. Pointers boxed in any do not allocate.
+	fn2    func(a, b any)
+	a0, a1 any
 }
 
 // At returns the time the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Canceled reports whether Cancel was called on the event while it was
+// still pending.
+func (e *Event) Canceled() bool { return e.state == evCanceled }
 
-type eventHeap []*Event
+// entry is one heap slot. The ordering key lives in the entry itself so
+// heap compares never chase the Event pointer.
+type entry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq // FIFO among simultaneous events
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // not usable; create one with NewEngine.
+//
+// Cancellation is lazy: Cancel marks the event and the heap drops it when
+// it reaches the top (or at the next compaction), so Cancel is O(1) and the
+// heap needs no per-event index bookkeeping.
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	events    []entry // binary min-heap ordered by (at, seq)
+	ncanceled int     // canceled entries still occupying heap slots
 	stopped   bool
 	processed uint64
-	free      []*Event // recycled fire-and-forget events
+	free      []*Event // recycled fired/canceled events
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -82,8 +89,37 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events currently scheduled (canceled
+// events awaiting lazy removal are not counted).
+func (e *Engine) Pending() int { return len(e.events) - e.ncanceled }
+
+// schedule allocates (or recycles) an event at absolute time t and pushes
+// its heap entry.
+func (e *Engine) schedule(t Time) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.state = evPending
+	e.push(entry{at: t, seq: e.seq, ev: ev})
+	e.seq++
+	return ev
+}
+
+// recycle returns a popped event to the free list, clearing anything it
+// could pin.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.fn2 = nil
+	ev.a0, ev.a1 = nil, nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a logic error in the caller.
@@ -91,9 +127,8 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
+	ev := e.schedule(t)
+	ev.fn = fn
 	return ev
 }
 
@@ -107,34 +142,67 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Post schedules fn to run d after the current time without returning the
-// event, allowing the engine to recycle it. Use for fire-and-forget
-// scheduling on hot paths (per-packet events); events scheduled this way
-// cannot be canceled.
+// event. Use for fire-and-forget scheduling; events posted this way cannot
+// be canceled. (All events are recycled once they fire; Post merely
+// documents that the caller keeps no handle.)
 func (e *Engine) Post(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-		*ev = Event{at: e.now + d, seq: e.seq, fn: fn, recycle: true}
-	} else {
-		ev = &Event{at: e.now + d, seq: e.seq, fn: fn, recycle: true}
-	}
-	e.seq++
-	heap.Push(&e.events, ev)
+	e.schedule(e.now + d).fn = fn
 }
 
-// Cancel removes ev from the schedule. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Post2 schedules fn(a, b) to run d after the current time, without
+// allocating a closure: fn is expected to be preallocated (a package-level
+// function or a func value created once), and a/b are boxed arguments.
+// Boxing pointers (and integers below 256) in any does not allocate, so a
+// Post2 with a warm free list performs zero heap allocations. This is the
+// per-packet scheduling primitive of the netsim hot path.
+func (e *Engine) Post2(d Time, fn func(a, b any), a, b any) {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.schedule(e.now + d)
+	ev.fn2 = fn
+	ev.a0, ev.a1 = a, b
+}
+
+// Cancel removes ev from the schedule in O(1) by marking it; the heap slot
+// is reclaimed lazily. Canceling an already-fired or already-canceled event
+// is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+	if ev == nil || ev.state != evPending {
 		return
 	}
-	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+	ev.state = evCanceled
+	e.ncanceled++
+	// If canceled entries dominate the heap (e.g. a pathological
+	// cancel/re-schedule loop with far-future deadlines), compact so memory
+	// stays proportional to the live event count. Amortized O(1) per Cancel.
+	if e.ncanceled > 64 && e.ncanceled*2 > len(e.events) {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without canceled entries, recycling their
+// events.
+func (e *Engine) compact() {
+	kept := e.events[:0]
+	for _, ent := range e.events {
+		if ent.ev.state == evCanceled {
+			e.recycle(ent.ev)
+			continue
+		}
+		kept = append(kept, ent)
+	}
+	// Zero the tail so dropped entries don't pin events.
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = entry{}
+	}
+	e.events = kept
+	e.ncanceled = 0
+	for i := len(e.events)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
 	}
 }
 
@@ -152,21 +220,86 @@ func (e *Engine) RunUntil(end Time) {
 	defer func() { totalProcessed.Add(e.processed - start) }()
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > end {
+		top := e.events[0]
+		if top.ev.state == evCanceled {
+			// Lazy deletion: drain without advancing the clock or the
+			// processed count.
+			e.popTop()
+			e.ncanceled--
+			e.recycle(top.ev)
+			continue
+		}
+		if top.at > end {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
+		e.popTop()
+		e.now = top.at
 		e.processed++
-		fn := next.fn
-		if next.recycle {
-			next.fn = nil
-			e.free = append(e.free, next)
+		ev := top.ev
+		// Copy the payload out before recycling: the callback may schedule
+		// new events, which can reuse this very object.
+		fn, fn2, a0, a1 := ev.fn, ev.fn2, ev.a0, ev.a1
+		ev.state = evFired
+		e.recycle(ev)
+		if fn2 != nil {
+			fn2(a0, a1)
+		} else {
+			fn()
 		}
-		fn()
 	}
 	if !e.stopped && e.now < end && end < Time(1<<63-1) {
 		e.now = end
 	}
+}
+
+// --- hand-rolled binary heap on value entries ---
+
+func (e *Engine) push(ent entry) {
+	e.events = append(e.events, ent)
+	e.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) popTop() {
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = entry{}
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ent := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ent.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ent
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ent := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].less(h[child]) {
+			child = r
+		}
+		if !h[child].less(ent) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = ent
 }

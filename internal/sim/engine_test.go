@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -245,12 +247,214 @@ func TestEnginePostAndAtInterleaved(t *testing.T) {
 	}
 }
 
+// refEvent is one event in the reference scheduler used to pin down the
+// lazy-cancel engine's semantics: a plain list fired in (at, seq) order.
+type refEvent struct {
+	at       Time
+	id       int
+	canceled bool
+	fired    bool
+}
+
+// TestEngineLazyCancelEquivalence drives random schedule / cancel /
+// run-until sequences through the engine and a naive reference scheduler
+// in lockstep: firing order and Pending() must match at every step.
+func TestEngineLazyCancelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var ref []*refEvent
+		handles := map[int]*Event{}
+		var got, want []int
+
+		refPending := func() int {
+			n := 0
+			for _, ev := range ref {
+				if !ev.canceled && !ev.fired {
+					n++
+				}
+			}
+			return n
+		}
+		refFire := func(end Time) {
+			var due []*refEvent
+			for _, ev := range ref {
+				if !ev.canceled && !ev.fired && ev.at <= end {
+					due = append(due, ev)
+				}
+			}
+			sort.SliceStable(due, func(i, j int) bool {
+				if due[i].at != due[j].at {
+					return due[i].at < due[j].at
+				}
+				return due[i].id < due[j].id // FIFO among simultaneous
+			})
+			for _, ev := range due {
+				ev.fired = true
+				want = append(want, ev.id)
+			}
+		}
+
+		for op := 0; op < 500; op++ {
+			switch r.Intn(5) {
+			case 0, 1: // schedule
+				at := e.Now() + Time(r.Intn(1000))*Nanosecond
+				id := len(ref)
+				ref = append(ref, &refEvent{at: at, id: id})
+				handles[id] = e.At(at, func() { got = append(got, id) })
+			case 2: // cancel a random live event
+				var live []int
+				for id, ev := range ref {
+					if !ev.canceled && !ev.fired {
+						live = append(live, id)
+					}
+				}
+				if len(live) > 0 {
+					sort.Ints(live)
+					id := live[r.Intn(len(live))]
+					e.Cancel(handles[id])
+					delete(handles, id)
+					ref[id].canceled = true
+				}
+			case 3, 4: // advance the clock
+				end := e.Now() + Time(r.Intn(1500))*Nanosecond
+				e.RunUntil(end)
+				refFire(end)
+			}
+			if e.Pending() != refPending() {
+				t.Fatalf("seed %d op %d: Pending() = %d, reference has %d",
+					seed, op, e.Pending(), refPending())
+			}
+		}
+		e.Run()
+		refFire(Time(1<<63 - 1))
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: got %d, want %d",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPost2ZeroAlloc pins the closure-free scheduling path at zero heap
+// allocations once the free lists are warm.
+func TestPost2ZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	type obj struct{ n int }
+	a, b := &obj{}, &obj{}
+	fn := func(x, y any) { x.(*obj).n += y.(*obj).n }
+	for i := 0; i < 64; i++ {
+		e.Post2(Nanosecond, fn, a, b)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		e.Post2(Nanosecond, fn, a, b)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("Post2 with pointer args: %v allocs/op, want 0", avg)
+	}
+	// Small integers (< 256) box for free too — the PFC pause path relies
+	// on this.
+	fni := func(x, y any) { a.n += y.(int) }
+	e.Post2(Nanosecond, fni, a, 7)
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		e.Post2(Nanosecond, fni, a, 200)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("Post2 with small int arg: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestAfterSteadyStateZeroAlloc: fired caller-held events are recycled, so
+// a warm engine schedules At/After events without allocating.
+func TestAfterSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Nanosecond, fn)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		e.After(Nanosecond, fn)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("After steady state: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestCancelReclaimsCallerHeldEvents: a canceled-then-drained At event goes
+// back to the free list, so a schedule/cancel loop allocates nothing.
+func TestCancelReclaimsCallerHeldEvents(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Cancel(e.After(Nanosecond, fn))
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		e.Cancel(e.After(Nanosecond, fn))
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("schedule/cancel/run loop: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestCancelLoopBounded: a retransmit-timer-style loop that cancels
+// far-future events over and over must not grow the heap or the free list
+// unboundedly — lazy deletion compacts when canceled entries dominate.
+func TestCancelLoopBounded(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 100000; i++ {
+		// Far future: lazy removal never gets to drain these at the top of
+		// the heap, so only compaction can reclaim them.
+		e.Cancel(e.After(Second, fn))
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after canceling everything, want 0", e.Pending())
+	}
+	if len(e.events) > 256 {
+		t.Errorf("heap holds %d entries after 100k cancels, want compacted (<= 256)", len(e.events))
+	}
+	if len(e.free) > 256 {
+		t.Errorf("free list holds %d events after 100k cancels, want bounded (<= 256)", len(e.free))
+	}
+	// The engine still works after heavy compaction.
+	fired := false
+	e.After(Nanosecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("event scheduled after compaction did not fire")
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := NewEngine()
 	fn := func() {}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.After(Time(i%64)*Nanosecond, fn)
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + 64*Nanosecond)
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkEnginePost2(b *testing.B) {
+	e := NewEngine()
+	type obj struct{ n int }
+	x, y := &obj{}, &obj{}
+	fn := func(a, b any) { a.(*obj).n++ }
+	_ = y
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Post2(Time(i%64)*Nanosecond, fn, x, y)
 		if e.Pending() > 1024 {
 			e.RunUntil(e.Now() + 64*Nanosecond)
 		}

@@ -37,8 +37,34 @@ type Stack struct {
 	// an obs.Recorder); nil costs one branch per flow completion.
 	OnFlowDone func(FlowStats)
 
+	// Pool, when non-nil, is the run-wide packet pool: all packets this
+	// stack emits are drawn from it and every packet it terminates
+	// (delivered data once its ACK is built, ACKs and probe-acks once the
+	// CC hook returns) is recycled into it. Install the same pool on every
+	// stack of a run (internal/harness does); nil keeps the pool-free
+	// allocate-and-GC behavior.
+	Pool *netsim.PacketPool
+
 	senders map[int64]*Sender
 	recvs   map[int64]*recvState
+	segfree []*segment // recycled segment records, shared by this host's flows
+}
+
+// getSeg returns a zeroed segment, recycled when possible.
+func (st *Stack) getSeg() *segment {
+	if n := len(st.segfree); n > 0 {
+		seg := st.segfree[n-1]
+		st.segfree[n-1] = nil
+		st.segfree = st.segfree[:n-1]
+		return seg
+	}
+	return &segment{}
+}
+
+// putSeg recycles an acknowledged segment record.
+func (st *Stack) putSeg(seg *segment) {
+	*seg = segment{}
+	st.segfree = append(st.segfree, seg)
 }
 
 // FlowStats summarizes a completed flow for observability: identity,
@@ -75,21 +101,24 @@ type recvState struct {
 func (st *Stack) handle(pkt *netsim.Packet) {
 	switch pkt.Type {
 	case netsim.Data:
-		st.onData(pkt)
+		st.onData(pkt) // recycles pkt once the ACK is built
 	case netsim.Ack:
 		if s, ok := st.senders[pkt.FlowID]; ok {
 			s.onAck(pkt)
 		}
+		st.Pool.Put(pkt)
 	case netsim.Probe:
 		prio := st.AckPrio
 		if st.AckPrioData {
 			prio = pkt.Prio
 		}
-		st.Host.Send(netsim.NewProbeAck(pkt, prio))
+		st.Host.Send(st.Pool.ProbeAck(pkt, prio))
+		st.Pool.Put(pkt)
 	case netsim.ProbeAck:
 		if s, ok := st.senders[pkt.FlowID]; ok {
 			s.onProbeAck(pkt)
 		}
+		st.Pool.Put(pkt)
 	}
 }
 
@@ -120,7 +149,10 @@ func (st *Stack) onData(pkt *netsim.Packet) {
 	if st.AckPrioData {
 		prio = pkt.Prio
 	}
-	st.Host.Send(netsim.NewAck(pkt, prio, r.cum))
+	// The ACK takes ownership of the data packet's INT records; the data
+	// packet itself is done and goes back to the pool.
+	st.Host.Send(st.Pool.Ack(pkt, prio, r.cum))
+	st.Pool.Put(pkt)
 }
 
 // measureRTT converts an echoed send timestamp into a (noisy) RTT sample.
@@ -302,7 +334,7 @@ func (s *Sender) sendProbe() {
 	if s.finished {
 		return
 	}
-	pkt := netsim.NewProbe(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio)
+	pkt := s.st.Pool.Probe(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio)
 	pkt.SentAt = s.st.Eng.Now()
 	s.ProbesSent++
 	s.st.Host.Send(pkt)
@@ -394,11 +426,14 @@ func (s *Sender) emit(seq int64, length int, retx bool) {
 			}
 		}
 	} else {
-		s.unacked[seq] = &segment{length: length, counted: true}
+		seg := s.st.getSeg()
+		seg.length = length
+		seg.counted = true
+		s.unacked[seq] = seg
 		s.sndNxt = seq + int64(length)
 		s.inflight += length
 	}
-	pkt := netsim.NewData(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio, seq, length)
+	pkt := s.st.Pool.Data(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio, seq, length)
 	pkt.VPrio = s.spec.VPrio
 	pkt.ECT = s.spec.Algo.WantsECT()
 	pkt.SentAt = s.st.Eng.Now()
@@ -509,6 +544,7 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 			s.inflight -= seg.length
 		}
 		newly += seg.length
+		s.st.putSeg(seg)
 	}
 	if pkt.AckSeq > s.sndUna {
 		// Cumulative advance: clear anything below it. Segment starts are
@@ -523,6 +559,7 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 				s.inflight -= seg.length
 			}
 			newly += seg.length
+			s.st.putSeg(seg)
 		}
 		s.sndUna = pkt.AckSeq
 		if s.minOut < pkt.AckSeq {
