@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"prioplus/internal/exp"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -129,6 +130,24 @@ func BenchmarkFig10bIncast(b *testing.B) {
 	var r exp.Fig10bResult
 	for i := 0; i < b.N; i++ {
 		r = exp.Fig10b(80)
+	}
+	b.ReportMetric(r.WithinFrac, "within_channel_frac")
+	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
+}
+
+// BenchmarkFig10bIncastObs: the same incast with the full telemetry stack
+// enabled — 10us series sampling over the standard source catalogue plus
+// latency histograms. The acceptance bar is < 10% over BenchmarkFig10bIncast.
+func BenchmarkFig10bIncastObs(b *testing.B) {
+	var r exp.Fig10bResult
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+		rec.Hist = obs.NewHistSet()
+		r = exp.Fig10bObs(80, rec)
+		if rec.Series.Ticks() == 0 {
+			b.Fatal("sampler never fired")
+		}
 	}
 	b.ReportMetric(r.WithinFrac, "within_channel_frac")
 	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
@@ -320,7 +339,9 @@ func BenchmarkFig17Lossy(b *testing.B) {
 // Physical-without-CC baseline of Fig 18 is CLI-only (`prioplus-sim
 // fig18`): its uncontrolled injection causes minutes of simulated PFC
 // churn, far beyond a benchmark's time budget — which is itself the
-// figure's point ("extremely poor... because of no control").
+// figure's point ("extremely poor... because of no control"). The CLI run
+// bounds it with the in-flight watchdog (CoflowConfig.MaxInflight), so the
+// blowup ends in a stopped, annotated run instead of unbounded memory.
 func BenchmarkFig18CoflowBaselines(b *testing.B) {
 	var rows []exp.CoflowSpeedups
 	for i := 0; i < b.N; i++ {

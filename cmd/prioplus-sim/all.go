@@ -28,9 +28,17 @@ func runAll(args []string) int {
 	jsonOut := fs.String("json", "", "write per-run results to this file as JSON")
 	timeout := fs.Duration("timeout", 0, "per-run wall-clock limit (0 = none)")
 	full := fs.Bool("full", false, "run at the paper's full scale")
+	progress := fs.Bool("progress", true, "write a live progress line to stderr as runs complete")
+	obsFlags := addObsFlags(fs)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args)
+
+	obsOpt, err := obsFlags.resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	ids := experiments
 	if *onlyArg != "" {
@@ -62,8 +70,11 @@ func runAll(args []string) int {
 				Name: fmt.Sprintf("%s/seed=%d", id, seed),
 				Run: func() (string, map[string]float64) {
 					var buf bytes.Buffer
-					if err := runExperiment(id, runOpts{full: *full, seed: seed}, &buf); err != nil {
-						panic(err) // unreachable: ids are validated above
+					// Ids are validated above, so the only errors left are
+					// artifact writes; the panic lands in Result.Err and
+					// fails just this run.
+					if err := runExperiment(id, runOpts{full: *full, seed: seed, obs: obsOpt}, &buf); err != nil {
+						panic(err)
 					}
 					return buf.String(), nil
 				},
@@ -71,10 +82,27 @@ func runAll(args []string) int {
 		}
 	}
 
+	opts := runner.Options{Workers: *parallel, Timeout: *timeout}
+	if *progress {
+		// OnResult calls are serialized by the runner, so the counter and
+		// the stderr line need no extra locking.
+		done := 0
+		opts.OnResult = func(r runner.Result) {
+			done++
+			status := "ok"
+			if r.Err != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %-24s %-4s", done, len(tasks), r.Name, status)
+		}
+	}
 	startEvents := sim.TotalProcessed()
 	startWall := time.Now()
-	results := runner.Run(tasks, runner.Options{Workers: *parallel, Timeout: *timeout})
+	results := runner.Run(tasks, opts)
 	wall := time.Since(startWall)
+	if *progress {
+		fmt.Fprintf(os.Stderr, "\r%*s\r", 40, "")
+	}
 	events := sim.TotalProcessed() - startEvents
 
 	failures := 0

@@ -2,6 +2,7 @@
 //
 //	prioplus-sim <experiment> [flags]
 //	prioplus-sim all [-parallel N] [-seeds a,b,c] [-json out.json]
+//	prioplus-sim report out/*.jsonl
 //
 // Experiments (ids match DESIGN.md and the paper's figures/tables):
 //
@@ -14,6 +15,15 @@
 // experiment across a worker pool (one private engine per run, so results
 // are byte-identical whatever -parallel is) and reports wall-clock and
 // events/sec. -cpuprofile/-memprofile write pprof profiles for either mode.
+//
+// Observability (both single and batch mode, on the experiments that
+// support it — the fat-tree, coflow, and incast scenarios): `-series out/`
+// writes one timeline artifact (JSONL) per run into out/, `-hist` records
+// streaming latency histograms and prints their summaries, and
+// `-watchdog 256m` arms an in-flight-bytes watchdog that stops a runaway
+// run and dumps the last trace events from the flight recorder. The
+// `report` subcommand renders artifacts back into a text report; see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"os"
 
 	"prioplus/internal/exp"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 	"prioplus/internal/stats"
 )
@@ -38,8 +49,9 @@ var experiments = []string{
 // runOpts carries the per-run knobs shared by single and batch mode.
 type runOpts struct {
 	full   bool
-	series bool
+	series bool // print inline time-series data where available
 	seed   int64
+	obs    obsOpts
 }
 
 func main() {
@@ -48,37 +60,91 @@ func main() {
 		os.Exit(2)
 	}
 	expID := os.Args[1]
-	if expID == "all" {
+	switch expID {
+	case "all":
 		os.Exit(runAll(os.Args[2:]))
+	case "report":
+		os.Exit(runReport(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet(expID, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's full scale")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	series := fs.Bool("series", false, "also print time-series data where available")
+	printSer := fs.Bool("print-series", false, "also print inline time-series data where available")
+	obsFlags := addObsFlags(fs)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
 
+	if err := validExperiment(expID); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		usage()
+		os.Exit(2)
+	}
+	obsOpt, err := obsFlags.resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	stop, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	runErr := runExperiment(expID, runOpts{full: *full, series: *series, seed: *seed}, os.Stdout)
+	runErr := runExperiment(expID, runOpts{full: *full, series: *printSer, seed: *seed, obs: obsOpt}, os.Stdout)
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", expID)
-		usage()
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
 	}
 }
 
+// obsFlagSet is the raw observability flag values before validation.
+type obsFlagSet struct {
+	seriesDir *string
+	hist      *bool
+	watchdog  *string
+	wdEvents  *int64
+}
+
+// addObsFlags registers the shared observability flags on fs.
+func addObsFlags(fs *flag.FlagSet) obsFlagSet {
+	return obsFlagSet{
+		seriesDir: fs.String("series", "", "write per-run timeline artifacts (JSONL) into this directory"),
+		hist:      fs.Bool("hist", false, "record streaming histograms (FCT, fabric delay, ACK RTT) and print summaries"),
+		watchdog:  fs.String("watchdog", "", "in-flight bytes ceiling (e.g. 256m); tripping stops the run and dumps the flight recorder"),
+		wdEvents:  fs.Int64("watchdog-events", 0, "event-heap size ceiling for the watchdog (0 = off)"),
+	}
+}
+
+// resolve validates the flag values and prepares the -series directory.
+func (f obsFlagSet) resolve() (obsOpts, error) {
+	var maxBytes int64
+	if *f.watchdog != "" {
+		var err error
+		maxBytes, err = parseBytes(*f.watchdog)
+		if err != nil {
+			return obsOpts{}, fmt.Errorf("-watchdog: %w", err)
+		}
+	}
+	o := obsOpts{dir: *f.seriesDir, hist: *f.hist, maxBytes: maxBytes, maxEvents: *f.wdEvents}
+	if o.dir != "" {
+		if err := os.MkdirAll(o.dir, 0o755); err != nil {
+			return obsOpts{}, err
+		}
+	}
+	return o, nil
+}
+
 // runExperiment executes one experiment and writes its report to w. It
-// returns an error only for an unknown id; experiment output (including
-// the batch runner's captured per-run output) goes to w.
+// returns an error for an unknown id or a failed observability-artifact
+// write; experiment output (including the batch runner's captured per-run
+// output) goes to w. The obs sink, when enabled, is wired into the
+// experiments that run full network scenarios (incast, fat-tree, coflow);
+// the analytic and micro experiments ignore it.
 func runExperiment(expID string, o runOpts, w io.Writer) error {
+	sink := newObsSink(o.obs, expID, o.seed)
 	switch expID {
 	case "fig2":
 		tb := stats.NewTable("chip", "year", "buffer(MB)", "bandwidth(Tbps)", "MB/Tbps")
@@ -168,7 +234,11 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if !o.full {
 			n = 80
 		}
-		r := exp.Fig10b(n)
+		var rec *obs.Recorder
+		if sink != nil {
+			rec = sink.recorder("incast")
+		}
+		r := exp.Fig10bObs(n, rec)
 		fmt.Fprintf(w, "%d-flow incast, D_target %v\n", n, r.Target)
 		fmt.Fprintf(w, "  delay within channel: %.0f%% of samples; mean delay %v\n", r.WithinFrac*100, r.MeanDelay)
 
@@ -198,6 +268,9 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			base.Drain = 20 * sim.Millisecond
 			counts = []int{2, 4, 8}
 		}
+		if sink != nil {
+			base.ObsFor = sink.recorder
+		}
 		printFig11(w, exp.Fig11(counts, base))
 
 	case "fig12ab":
@@ -208,6 +281,9 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 				cfg = cfg.PaperScale()
 				cfg.Duration = 100 * sim.Millisecond
 				cfg.Drain = 400 * sim.Millisecond
+			}
+			if sink != nil {
+				cfg.ObsFor = sink.recorder
 			}
 			fmt.Fprintf(w, "coflow CCT speedup vs Swift baseline, load %.0f%%\n", load*100)
 			printCoflow(w, exp.Fig12Coflow(cfg, false))
@@ -221,6 +297,9 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			cfg.Duration = 100 * sim.Millisecond
 			cfg.Drain = 400 * sim.Millisecond
 		}
+		if sink != nil {
+			cfg.ObsFor = sink.recorder
+		}
 		fmt.Fprintln(w, "tail (p99) CCT speedup vs Swift baseline, load 70%")
 		printCoflow(w, exp.Fig12Coflow(cfg, true))
 
@@ -233,16 +312,29 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			cfg.Duration = 100 * sim.Millisecond
 			cfg.Drain = 400 * sim.Millisecond
 		}
+		if sink != nil {
+			cfg.ObsFor = sink.recorder
+		}
 		fmt.Fprintln(w, "coflow CCT speedup, lossy fabric (PFC off, IRN recovery), load 70%")
 		printCoflow(w, exp.Fig12Coflow(cfg, false))
 
 	case "fig18":
 		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
 		cfg.Seed = o.seed
+		// The "Physical* w/o CC" run is armed with an in-flight-bytes
+		// watchdog: uncapped it materializes tens of GB of packets in
+		// PFC-paused queues and never finishes (see CoflowConfig.MaxInflight).
+		// Healthy schemes peak around 21 MB in flight at this scale, so the
+		// ceiling only ever cuts the uncontrolled baseline.
+		cfg.MaxInflight = 128 << 20
 		if o.full {
 			cfg = cfg.PaperScale()
 			cfg.Duration = 100 * sim.Millisecond
 			cfg.Drain = 400 * sim.Millisecond
+			cfg.MaxInflight = 1 << 30
+		}
+		if sink != nil {
+			cfg.ObsFor = sink.recorder
 		}
 		fmt.Fprintln(w, "coflow CCT speedup with HPCC and Physical w/o CC, load 70%")
 		printCoflow(w, exp.Fig12Coflow(cfg, false, exp.HPCCPhysical(8), exp.NoCCPhysicalIdeal()))
@@ -278,6 +370,9 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			base.Duration = 5 * sim.Millisecond
 			base.Drain = 20 * sim.Millisecond
 		}
+		if sink != nil {
+			base.ObsFor = sink.recorder
+		}
 		rows := exp.Fig14(base, []exp.Scheme{exp.PrioPlusSwift(), exp.SwiftPhysicalIdeal(), exp.D2TCP(), exp.NoCCPhysicalIdeal()})
 		tb := stats.NewTable("scheme", "priority band", "size class", "FCT / Physical*")
 		for _, r := range rows {
@@ -292,6 +387,9 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			base.K = 4
 			base.Duration = 5 * sim.Millisecond
 			base.Drain = 20 * sim.Millisecond
+		}
+		if sink != nil {
+			base.ObsFor = sink.recorder
 		}
 		printFig11(w, exp.Fig16(8, base))
 
@@ -347,6 +445,9 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", expID)
 	}
+	if sink != nil {
+		return sink.flush(w)
+	}
 	return nil
 }
 
@@ -374,14 +475,33 @@ func printFig11(w io.Writer, rows []exp.Fig11Row) {
 func printCoflow(w io.Writer, rows []exp.CoflowSpeedups) {
 	tb := stats.NewTable("scheme", "high-4 groups", "low-4 groups", "overall")
 	for _, r := range rows {
-		tb.AddRow(r.Scheme, r.High4, r.Low4, r.Overall)
+		name := r.Scheme
+		if r.Watchdog != "" {
+			name += " [watchdog: " + r.Watchdog + "]"
+		}
+		tb.AddRow(name, r.High4, r.Low4, r.Overall)
 	}
 	tb.Render(w)
+	for _, r := range rows {
+		if r.Watchdog != "" {
+			fmt.Fprintf(w, "note: %s tripped the %s watchdog and was stopped early;\n"+
+				"      its speedups cover only the coflows that finished before the stop\n",
+				r.Scheme, r.Watchdog)
+		}
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-series] [-cpuprofile f] [-memprofile f]
-       prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full]
+	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-print-series] [obs flags] [-cpuprofile f] [-memprofile f]
+       prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full] [obs flags]
+       prioplus-sim report [-width N] file.jsonl...
+
+obs flags (network experiments only; see docs/OBSERVABILITY.md):
+  -series DIR       write one timeline artifact (JSONL) per run into DIR
+  -hist             record streaming histograms (FCT, fabric delay, ACK RTT)
+  -watchdog BYTES   in-flight-bytes ceiling; tripping stops the run and
+                    dumps the flight recorder (e.g. -watchdog 256m)
+  -watchdog-events N  event-heap ceiling for the watchdog
 
 experiments:
   fig2     switch-chip buffer/bandwidth ratios
@@ -404,5 +524,6 @@ experiments:
   ablation     design-choice ablations (filter, cardinality, probe)
   ext-ecn      Appendix B extension: per-priority ECN marking
   ext-weighted §7 extension: weighted virtual priority
-  all          every experiment above, fanned across a worker pool`)
+  all          every experiment above, fanned across a worker pool
+  report       render -series artifacts as a text report`)
 }

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"prioplus/internal/obs"
+	"prioplus/internal/sim"
+)
+
+// seriesInterval is the sampling period for -series timelines: fine enough
+// to resolve PFC pause episodes (tens of microseconds) while keeping a
+// 50 ms run to a few thousand samples per gauge.
+const seriesInterval = 10 * sim.Microsecond
+
+// flightSize is the flight recorder's ring capacity: the most recent trace
+// events kept for the post-mortem dump when a watchdog trips.
+const flightSize = 4096
+
+// obsOpts carries the observability flags shared by single and batch mode.
+// The zero value disables everything.
+type obsOpts struct {
+	dir       string // -series: artifact JSONL directory ("" = off)
+	hist      bool   // -hist: streaming histograms plus printed summaries
+	maxBytes  int64  // -watchdog: in-flight bytes ceiling (0 = off)
+	maxEvents int64  // -watchdog-events: event-heap ceiling (0 = off)
+}
+
+func (o obsOpts) enabled() bool {
+	return o.dir != "" || o.hist || o.maxBytes > 0 || o.maxEvents > 0
+}
+
+// obsSink hands out per-run recorders during one experiment invocation
+// and, at flush time, writes their artifacts and prints their summaries.
+// One experiment may own several runs (a figure's sweep of schemes and
+// priority counts), so recorders are keyed by run tag. A sink belongs to a
+// single runExperiment call and needs no locking.
+type obsSink struct {
+	opts obsOpts
+	exp  string
+	seed int64
+	runs []obsRun
+	seen map[string]int // filename stems already issued, for dedupe
+}
+
+type obsRun struct {
+	tag string
+	rec *obs.Recorder
+}
+
+// newObsSink returns nil when every observability flag is off, so callers
+// can gate wiring on a single nil check.
+func newObsSink(opts obsOpts, exp string, seed int64) *obsSink {
+	if !opts.enabled() {
+		return nil
+	}
+	return &obsSink{opts: opts, exp: exp, seed: seed, seen: map[string]int{}}
+}
+
+// recorder builds the recorder for one run, enabling only the instruments
+// the flags asked for. It has the factory shape the exp configs expect
+// (FlowSchedConfig.ObsFor and friends); the sink keeps every recorder it
+// hands out so flush can write them after the experiment finishes.
+func (s *obsSink) recorder(tag string) *obs.Recorder {
+	rec := obs.NewRecorder()
+	if s.opts.dir != "" {
+		rec.Series = obs.NewSeriesSet(seriesInterval)
+	}
+	if s.opts.hist {
+		rec.Hist = obs.NewHistSet()
+	}
+	if s.opts.maxBytes > 0 || s.opts.maxEvents > 0 {
+		rec.Watchdog = &obs.Watchdog{
+			MaxInflightBytes: s.opts.maxBytes,
+			MaxHeapEvents:    s.opts.maxEvents,
+		}
+		rec.Flight = obs.NewFlightRecorder(flightSize)
+	}
+	s.runs = append(s.runs, obsRun{tag: tag, rec: rec})
+	return rec
+}
+
+// stem returns a unique filesystem-safe basename for one run's artifacts.
+func (s *obsSink) stem(tag string) string {
+	base := s.exp + "__" + sanitizeTag(tag) + "__seed" + strconv.FormatInt(s.seed, 10)
+	s.seen[base]++
+	if n := s.seen[base]; n > 1 {
+		base += "-" + strconv.Itoa(n)
+	}
+	return base
+}
+
+// flush writes one artifact JSONL per run into the -series directory,
+// dumps the flight recorder for any run whose watchdog tripped, and prints
+// -hist summaries to w (so batch mode captures them with the run output).
+func (s *obsSink) flush(w io.Writer) error {
+	for _, r := range s.runs {
+		stem := s.stem(r.tag)
+		if wd := r.rec.Watchdog; wd != nil && wd.Tripped() != "" {
+			dir := s.opts.dir
+			if dir == "" {
+				dir = "."
+			}
+			path := filepath.Join(dir, stem+".flight.jsonl")
+			n, err := dumpFlight(path, r.rec.Flight)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "# watchdog tripped (%s) in run %q: engine stopped, last %d trace events in %s\n",
+				wd.Tripped(), r.tag, n, path)
+		}
+		if s.opts.dir != "" {
+			if err := writeArtifactFile(filepath.Join(s.opts.dir, stem+".jsonl"), r.tag, r.rec); err != nil {
+				return err
+			}
+		}
+		if s.opts.hist && r.rec.Hist != nil {
+			for _, h := range r.rec.Hist.All() {
+				if h.Count() == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "# hist %s %s (%s): n=%d mean=%.0f p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
+					r.tag, h.Name, h.Unit, h.Count(), h.Mean(),
+					h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+			}
+		}
+	}
+	return nil
+}
+
+func writeArtifactFile(path, tag string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteArtifact(f, tag, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func dumpFlight(path string, fr *obs.FlightRecorder) (int, error) {
+	if fr == nil {
+		return 0, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := fr.Dump(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// sanitizeTag maps a run tag to a filesystem-safe name: letters, digits,
+// dot, underscore, and dash pass through; everything else ('/', '*', '+',
+// spaces) becomes '-'.
+func sanitizeTag(tag string) string {
+	var b strings.Builder
+	b.Grow(len(tag))
+	for i := 0; i < len(tag); i++ {
+		c := tag[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// parseBytes parses a human-readable byte count: a plain integer with an
+// optional k/m/g suffix (binary multiples), e.g. "64m", "2g", "65536".
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty byte count")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "1024": 1024,
+		"4k": 4 << 10, "4K": 4 << 10,
+		"128m": 128 << 20, "2G": 2 << 30,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "-4k", "1t", "k"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSanitizeTag(t *testing.T) {
+	cases := map[string]string{
+		"incast":           "incast",
+		"Physical* w/o CC": "Physical--w-o-CC",
+		"baseline/Swift":   "baseline-Swift",
+		"pp/np=8":          "pp-np-8",
+		"a.b_c-D9":         "a.b_c-D9",
+	}
+	for in, want := range cases {
+		if got := sanitizeTag(in); got != want {
+			t.Errorf("sanitizeTag(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestObsSinkArtifactNaming: one artifact per recorder, deduped stems, and
+// flush writes them where -series pointed.
+func TestObsSinkArtifactNaming(t *testing.T) {
+	dir := t.TempDir()
+	sink := newObsSink(obsOpts{dir: dir}, "fig99", 7)
+	if sink == nil {
+		t.Fatal("sink disabled despite -series dir")
+	}
+	sink.recorder("a/b")
+	sink.recorder("a/b") // same tag twice: must not clobber
+	var out bytes.Buffer
+	if err := sink.flush(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig99__a-b__seed7.jsonl", "fig99__a-b__seed7-2.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("artifact %s not written: %v", want, err)
+		}
+	}
+}
+
+func TestObsSinkDisabled(t *testing.T) {
+	if s := newObsSink(obsOpts{}, "fig99", 1); s != nil {
+		t.Error("sink created with no obs flags set")
+	}
+}
+
+// TestReportRoundTrip: an artifact written by the sink renders through the
+// report path without error and mentions its run and series.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sink := newObsSink(obsOpts{dir: dir, hist: true}, "figX", 1)
+	rec := sink.recorder("tag")
+	rec.Series.Add("net/test_series", "bytes", func() float64 { return 42 })
+	for i := 0; i < 5; i++ {
+		rec.Series.Sample()
+	}
+	rec.Hist.FCT.Observe(1000)
+	rec.Metrics.Counter("net/things").Add(3)
+	var out bytes.Buffer
+	if err := sink.flush(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "transport/fct") {
+		t.Errorf("-hist summary missing from flush output:\n%s", out.String())
+	}
+
+	var rep bytes.Buffer
+	path := filepath.Join(dir, "figX__tag__seed1.jsonl")
+	if err := reportFile(&rep, path, 40); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`run "tag"`, "net/test_series", "net/things", "transport/fct"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}

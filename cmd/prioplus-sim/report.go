@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prioplus/internal/obs"
+	"prioplus/internal/stats"
+)
+
+// runReport is the `prioplus-sim report` subcommand: it renders artifact
+// JSONL files written by -series back into a human-readable text report
+// (metrics table, histogram quantiles, per-series summary + sparkline).
+// Returns the process exit code.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	width := fs.Int("width", 60, "sparkline width in columns")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: prioplus-sim report [-width N] file.jsonl...")
+		return 2
+	}
+	code := 0
+	for i, path := range fs.Args() {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := reportFile(os.Stdout, path, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+func reportFile(w io.Writer, path string, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := obs.ReadArtifact(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "== %s (run %q)\n", path, a.Run)
+	if a.Watchdog != "" {
+		fmt.Fprintf(w, "WATCHDOG TRIPPED: %s — the run was stopped early\n", a.Watchdog)
+	}
+
+	if len(a.Hists) > 0 {
+		fmt.Fprintln(w, "\nhistograms:")
+		tb := stats.NewTable("name", "unit", "n", "mean", "p50", "p90", "p99", "p99.9", "max")
+		for _, h := range a.Hists {
+			tb.AddRow(h.Name, h.Unit, h.Count, h.Mean, h.P50, h.P90, h.P99, h.P999, h.Max)
+		}
+		tb.Render(w)
+	}
+
+	if n := samples(a); n > 0 {
+		fmt.Fprintf(w, "\nseries: %d samples every %gus, %gus .. %gus\n",
+			n, a.IntervalUS, a.TimeAtUS(0), a.TimeAtUS(n-1))
+		for _, s := range a.Series {
+			lo, mean, hi := summarize(s.V)
+			fmt.Fprintf(w, "  %-34s min %14.6g  mean %14.6g  max %14.6g  %s\n",
+				s.Name+" ("+s.Unit+")", lo, mean, hi, sparkline(s.V, width))
+		}
+	} else if len(a.Series) > 0 {
+		fmt.Fprintf(w, "\nseries: %d declared, 0 samples (run shorter than the sampling interval)\n", len(a.Series))
+	}
+
+	if len(a.Metrics) > 0 {
+		fmt.Fprintln(w, "\nmetrics:")
+		for _, m := range a.Metrics {
+			fmt.Fprintf(w, "  %-44s %g\n", m.Name, m.V)
+		}
+	}
+	return nil
+}
+
+// samples returns the artifact's sample count (every series has the same
+// length by construction).
+func samples(a *obs.Artifact) int {
+	if len(a.Series) == 0 {
+		return 0
+	}
+	return len(a.Series[0].V)
+}
+
+func summarize(v []float64) (lo, mean, hi float64) {
+	if len(v) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = v[0], v[0]
+	sum := 0.0
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		sum += x
+	}
+	return lo, sum / float64(len(v)), hi
+}
+
+// sparkline renders v as a fixed-width unicode bar strip; each column is
+// the max over its chunk of samples (max, not mean, so short spikes —
+// exactly what one looks for in a queue-depth timeline — stay visible).
+func sparkline(v []float64, width int) string {
+	if len(v) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	if width > len(v) {
+		width = len(v)
+	}
+	lo, _, hi := summarize(v)
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		from := i * len(v) / width
+		to := (i + 1) * len(v) / width
+		if to <= from {
+			to = from + 1
+		}
+		m := v[from]
+		for _, x := range v[from:to] {
+			if x > m {
+				m = x
+			}
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((m - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -7,10 +7,26 @@ import "math"
 // priority queues. Its window is effectively unbounded.
 type NoCC struct {
 	drv Driver
+	wnd float64 // 0 = unbounded
 }
 
-// NewNoCC returns an uncontrolled sender.
+// NewNoCC returns an uncontrolled sender with an unbounded window.
 func NewNoCC() *NoCC { return &NoCC{} }
+
+// NewNoCCWindow returns an uncontrolled sender whose outstanding data is
+// capped at wndBytes. The cap does not add congestion control — the sender
+// still never reacts to delay, loss, or marks — it models the finite TX
+// resources a real NIC has (send queue, retransmission buffer): even an
+// uncontrolled host cannot materialize a whole multi-megabyte flow into the
+// fabric at once. Simulations of "w/o CC" baselines need the cap so a
+// PFC-paused fabric holds a bounded number of in-flight packets instead of
+// the entire offered load.
+func NewNoCCWindow(wndBytes float64) *NoCC {
+	if wndBytes <= 0 {
+		return NewNoCC()
+	}
+	return &NoCC{wnd: wndBytes}
+}
 
 // Name implements Algorithm.
 func (n *NoCC) Name() string { return "nocc" }
@@ -30,6 +46,12 @@ func (n *NoCC) OnProbeAck(fb Feedback) {}
 // OnRTO implements Algorithm.
 func (n *NoCC) OnRTO() {}
 
-// CwndBytes implements Algorithm: effectively unbounded, so the transport
-// releases packets as fast as the NIC drains them.
-func (n *NoCC) CwndBytes() float64 { return math.Inf(1) }
+// CwndBytes implements Algorithm: unbounded by default (the transport
+// releases packets as fast as the NIC drains them), or the fixed TX cap
+// when built with NewNoCCWindow.
+func (n *NoCC) CwndBytes() float64 {
+	if n.wnd > 0 {
+		return n.wnd
+	}
+	return math.Inf(1)
+}

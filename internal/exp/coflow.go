@@ -7,6 +7,7 @@ import (
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
+	"prioplus/internal/obs"
 	"prioplus/internal/sched"
 	"prioplus/internal/sim"
 	"prioplus/internal/topo"
@@ -35,6 +36,21 @@ type CoflowConfig struct {
 	// coflows (e.g. parsed from the public Facebook trace format with
 	// workload.ParseCoflowTrace).
 	Trace []workload.Coflow
+	// ObsFor, when non-nil, supplies a fresh observability recorder per
+	// run, keyed by the run's tag (the scheme name, "baseline/"-prefixed
+	// for the no-priority baseline). Fig12Coflow runs several engines, so a
+	// single shared Recorder cannot serve it.
+	ObsFor func(tag string) *obs.Recorder
+	// MaxInflight, when > 0, arms an in-flight-bytes watchdog on every run:
+	// a run whose live packet bytes exceed the ceiling is stopped early and
+	// reported with CoflowResult.Watchdog set. This is how fig18's quick
+	// scale stays runnable — the "Physical* w/o CC" scheme otherwise
+	// materializes tens of GB of packets in PFC-paused queues (every
+	// arriving flow blasts its full TX window into a fabric that never
+	// drains, and spurious RTOs duplicate what is already queued). The
+	// ceiling is independent of any ObsFor recorder, so figure output is
+	// identical whether or not observability flags are set.
+	MaxInflight int64
 }
 
 // DefaultCoflowConfig returns a reduced-scale version of the paper's
@@ -66,6 +82,11 @@ type CoflowResult struct {
 	P99       sim.Time
 	Completed int
 	Launched  int
+	// Watchdog is the trip reason ("inflight_bytes") when the run was
+	// stopped early by CoflowConfig.MaxInflight, "" when it ran to the end.
+	// Stats from a tripped run cover only the coflows that finished before
+	// the stop, so they are biased toward the early survivors.
+	Watchdog string
 }
 
 // RunCoflow runs one scheme over the coflow workload.
@@ -85,6 +106,28 @@ func RunCoflow(cfg CoflowConfig) CoflowResult {
 	nw := topo.Clos(eng, cfg.Pods, cfg.Edges, cfg.HostsPerEdge, cfg.Aggs, cfg.Cores, tc)
 	net := harness.New(nw, cfg.Seed)
 	cfg.Scheme.Post(net)
+	var rec *obs.Recorder
+	if cfg.ObsFor != nil {
+		tag := cfg.Scheme.Name
+		if cfg.NoPriority {
+			tag = "baseline/" + tag
+		}
+		rec = cfg.ObsFor(tag)
+	}
+	if cfg.MaxInflight > 0 {
+		if rec == nil {
+			rec = obs.NewRecorder()
+		}
+		if rec.Watchdog == nil {
+			rec.Watchdog = &obs.Watchdog{MaxInflightBytes: cfg.MaxInflight}
+		}
+	}
+	if rec != nil {
+		net.Observe(rec)
+		if rec.Series != nil {
+			rec.Series.ReserveUntil(cfg.Duration + cfg.Drain)
+		}
+	}
 	nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), 1)
 	net.SetNoise(nm.Sample)
 
@@ -144,6 +187,12 @@ func RunCoflow(cfg CoflowConfig) CoflowResult {
 		}
 	}
 	eng.RunUntil(cfg.Duration + cfg.Drain)
+	if rec != nil {
+		net.CollectMetrics(rec)
+		if rec.Watchdog != nil {
+			res.Watchdog = rec.Watchdog.Tripped()
+		}
+	}
 
 	perGroup := make([][]sim.Time, cfg.NPrios)
 	var all []sim.Time
@@ -189,6 +238,8 @@ type CoflowSpeedups struct {
 	High4   float64
 	Low4    float64
 	Overall float64
+	// Watchdog carries the scheme run's trip reason (see CoflowResult).
+	Watchdog string
 }
 
 func speedupOf(base, r CoflowResult, tail bool) CoflowSpeedups {
@@ -222,10 +273,11 @@ func speedupOf(base, r CoflowResult, tail bool) CoflowSpeedups {
 		baseAll, rAll = base.P99, r.P99
 	}
 	return CoflowSpeedups{
-		Scheme:  r.Scheme,
-		High4:   ratio(pick(base, np/2, np-1), pick(r, np/2, np-1)),
-		Low4:    ratio(pick(base, 0, np/2-1), pick(r, 0, np/2-1)),
-		Overall: ratio(baseAll, rAll),
+		Scheme:   r.Scheme,
+		High4:    ratio(pick(base, np/2, np-1), pick(r, np/2, np-1)),
+		Low4:     ratio(pick(base, 0, np/2-1), pick(r, 0, np/2-1)),
+		Overall:  ratio(baseAll, rAll),
+		Watchdog: r.Watchdog,
 	}
 }
 

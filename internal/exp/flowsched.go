@@ -2,6 +2,7 @@ package exp
 
 import (
 	"math/rand"
+	"strconv"
 
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
@@ -37,6 +38,20 @@ type FlowSchedConfig struct {
 	// live flow counters) and filled with the final device metrics; see
 	// docs/OBSERVABILITY.md for the metric namespace.
 	Obs *obs.Recorder
+	// ObsFor, when non-nil and Obs is nil, supplies a fresh recorder per
+	// run, keyed by the run's tag ("<scheme>/np=<n>"). Multi-run figures
+	// (Fig11's sweep) need this: a Recorder is strictly per-engine, so one
+	// shared Obs cannot serve them.
+	ObsFor func(tag string) *obs.Recorder
+}
+
+// runTag identifies one flow-scheduling run within a figure's sweep.
+func (cfg FlowSchedConfig) runTag() string {
+	tag := cfg.Scheme.Name + "/np=" + strconv.Itoa(cfg.NPrios)
+	if cfg.AckPrioData {
+		tag += "/ackdata"
+	}
+	return tag
 }
 
 // DefaultFlowSchedConfig returns the paper's configuration at a reduced
@@ -85,8 +100,15 @@ func RunFlowSched(cfg FlowSchedConfig) FlowSchedResult {
 	nw := topo.FatTree(eng, cfg.K, tc)
 	net := harness.New(nw, cfg.Seed)
 	cfg.Scheme.Post(net)
-	if cfg.Obs != nil {
-		net.Observe(cfg.Obs)
+	rec := cfg.Obs
+	if rec == nil && cfg.ObsFor != nil {
+		rec = cfg.ObsFor(cfg.runTag())
+	}
+	if rec != nil {
+		net.Observe(rec)
+		if rec.Series != nil {
+			rec.Series.ReserveUntil(cfg.Duration + cfg.Drain)
+		}
 	}
 	if cfg.AckPrioData {
 		net.SetAckPrioData()
@@ -153,8 +175,8 @@ func RunFlowSched(cfg FlowSchedConfig) FlowSchedResult {
 		res.Pauses += sw.PausesSent()
 		res.Drops += sw.Drops()
 	}
-	if cfg.Obs != nil {
-		net.CollectMetrics(cfg.Obs)
+	if rec != nil {
+		net.CollectMetrics(rec)
 	}
 	return res
 }

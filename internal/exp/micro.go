@@ -8,6 +8,7 @@ import (
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 	"prioplus/internal/topo"
 )
@@ -383,8 +384,20 @@ type Fig10bResult struct {
 
 // Fig10b starts n same-priority PrioPlus flows simultaneously (incast)
 // with D_target = base+20us and measures delay containment.
-func Fig10b(n int) Fig10bResult {
+func Fig10b(n int) Fig10bResult { return Fig10bObs(n, nil) }
+
+// Fig10bObs is Fig10b with an optional observability recorder attached to
+// the run (time series, histograms, trace — whatever rec enables). The
+// instrumented run produces identical figure output: the sampler and
+// histograms only read simulator state.
+func Fig10bObs(n int, rec *obs.Recorder) Fig10bResult {
 	net, eng := microNet(n+2, 17, nil)
+	if rec != nil {
+		net.Observe(rec)
+		if rec.Series != nil {
+			rec.Series.ReserveUntil(4 * sim.Millisecond)
+		}
+	}
 	recv := n + 1
 	base := net.Topo.BaseRTT(0, recv)
 	plan := core.DefaultPlan(base)
@@ -408,11 +421,16 @@ func Fig10b(n int) Fig10bResult {
 		})
 	}
 	eng.RunUntil(4 * sim.Millisecond)
-	return Fig10bResult{
-		WithinFrac: float64(within) / float64(samples),
-		MeanDelay:  sum / sim.Time(samples),
-		Target:     ch.Target,
+	if rec != nil {
+		net.CollectMetrics(rec)
 	}
+	res := Fig10bResult{Target: ch.Target}
+	// A tripped watchdog can stop the run before any sample fires.
+	if samples > 0 {
+		res.WithinFrac = float64(within) / float64(samples)
+		res.MeanDelay = sum / sim.Time(samples)
+	}
+	return res
 }
 
 // Fig10cResult compares dual-RTT with every-RTT adaptive increase.

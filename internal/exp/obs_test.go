@@ -31,3 +31,19 @@ func TestRunFlowSchedObs(t *testing.T) {
 		t.Errorf("net/queue_hwm_bytes = %v, want > 0 under 0.7 load", snap["net/queue_hwm_bytes"])
 	}
 }
+
+// TestFig10bObsWatchdogEarlyStop: a watchdog that trips before the first
+// delay sample must yield a zero result, not a divide-by-zero panic.
+func TestFig10bObsWatchdogEarlyStop(t *testing.T) {
+	t.Parallel()
+	rec := obs.NewRecorder()
+	rec.Watchdog = &obs.Watchdog{MaxInflightBytes: 64 << 10}
+	rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+	res := Fig10bObs(80, rec)
+	if rec.Watchdog.Tripped() != "inflight_bytes" {
+		t.Fatalf("Tripped = %q, want inflight_bytes", rec.Watchdog.Tripped())
+	}
+	if res.WithinFrac != 0 || res.MeanDelay != 0 {
+		t.Errorf("early-stopped run reported WithinFrac=%v MeanDelay=%v, want zeros", res.WithinFrac, res.MeanDelay)
+	}
+}

@@ -79,11 +79,18 @@ func SwiftPhysicalIdeal() Scheme {
 }
 
 // NoCCPhysicalIdeal is Physical* without congestion control: flows blast
-// at line rate and rely on priority queues plus PFC.
+// at line rate and rely on priority queues plus PFC. The sender's
+// outstanding data is capped at 8 BDP — the finite TX resources a real
+// NIC has — so a PFC-paused fabric holds a bounded number of in-flight
+// packets instead of the flow's entire remaining size (uncapped, the
+// quick-scale fig18 run grew to tens of GB of RSS; see CHANGES.md PR 3).
+// The scheme stays uncontrolled: it never reacts to delay, loss, or marks.
 func NoCCPhysicalIdeal() Scheme {
 	s := SwiftPhysicalIdeal()
 	s.Name = "Physical* w/o CC"
-	s.NewAlgo = func(env FlowEnv) cc.Algorithm { return cc.NewNoCC() }
+	s.NewAlgo = func(env FlowEnv) cc.Algorithm {
+		return cc.NewNoCCWindow(8 * env.BDPPkts * netsim.DefaultMTU)
+	}
 	return s
 }
 

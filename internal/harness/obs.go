@@ -5,30 +5,48 @@ import (
 
 	"prioplus/internal/netsim"
 	"prioplus/internal/obs"
+	"prioplus/internal/sim"
 	"prioplus/internal/transport"
 )
 
+// DefaultWatchdogInterval is the sampling interval Observe falls back to
+// when a watchdog is installed without a time-series sampler.
+const DefaultWatchdogInterval = 10 * sim.Microsecond
+
 // Observe attaches an observability recorder to the network: the
-// recorder's trace sink (if any) is installed on every switch, fabric
-// port, and host NIC, and a flow-completion hook keeps the recorder's
-// aggregate flow counters (net/flows_completed, net/retransmits, net/rtos,
-// net/probes_sent, net/fct_sum_us) up to date as flows finish. Observe
-// owns each stack's OnFlowDone hook. Call CollectMetrics after the run to
-// fill in the switch/port counters; docs/OBSERVABILITY.md documents every
-// metric name.
+// recorder's trace sink (flight recorder and/or Trace, if any) is
+// installed on every switch, fabric port, and host NIC; latency histograms
+// (rec.Hist) are installed on every stack; the time-series sampler
+// (rec.Series) gets the standard source catalogue and the engine clock
+// hook; the watchdog (rec.Watchdog) is checked at every sampling tick; and
+// a flow-completion hook keeps the recorder's aggregate flow counters
+// (net/flows_completed, net/retransmits, net/rtos, net/probes_sent,
+// net/fct_sum_us) up to date as flows finish. Observe owns each stack's
+// OnFlowDone hook. Call CollectMetrics after the run to fill in the
+// switch/port counters; docs/OBSERVABILITY.md documents every metric and
+// series name.
 //
-// Call Observe before traffic starts. With a nil rec.Trace the per-packet
-// hot path is untouched; the per-flow hook is a handful of counter adds.
+// Call Observe before traffic starts. Disabled instruments cost nothing:
+// with a nil tracer the per-packet hot path is untouched, nil histograms
+// are one branch per sample, and without a series set the engine runs with
+// no sampler hook.
 func (n *Net) Observe(rec *obs.Recorder) {
-	if rec.Trace != nil {
+	tracer := rec.Tracer()
+	if tracer != nil {
 		for _, sw := range n.Topo.Switches {
-			sw.Trace = rec.Trace
+			sw.Trace = tracer
 			for _, p := range sw.Ports {
-				p.Trace = rec.Trace
+				p.Trace = tracer
 			}
 		}
 		for _, h := range n.Topo.Hosts {
-			h.NIC.Trace = rec.Trace
+			h.NIC.Trace = tracer
+		}
+	}
+	if rec.Hist != nil {
+		for _, st := range n.Stacks {
+			st.RTTHist = &rec.Hist.AckRTT
+			st.DelayHist = &rec.Hist.FabricDelay
 		}
 	}
 	flows := rec.Metrics.Counter("net/flows_completed")
@@ -36,7 +54,7 @@ func (n *Net) Observe(rec *obs.Recorder) {
 	rtos := rec.Metrics.Counter("net/rtos")
 	probes := rec.Metrics.Counter("net/probes_sent")
 	fctSum := rec.Metrics.Counter("net/fct_sum_us")
-	trace := rec.Trace
+	hist := rec.Hist
 	for _, st := range n.Stacks {
 		st.OnFlowDone = func(fs transport.FlowStats) {
 			flows.Add(1)
@@ -44,8 +62,11 @@ func (n *Net) Observe(rec *obs.Recorder) {
 			rtos.Add(float64(fs.RTOs))
 			probes.Add(float64(fs.ProbesSent))
 			fctSum.Add(fs.FCT.Micros())
-			if trace != nil {
-				trace.Trace(obs.Event{
+			if hist != nil {
+				hist.FCT.Observe(int64(fs.FCT / sim.Nanosecond))
+			}
+			if tracer != nil {
+				tracer.Trace(obs.Event{
 					T: n.Eng.Now(), Kind: obs.FlowDone,
 					Flow: fs.ID, Bytes: int(fs.Size),
 					Seq: int64(fs.FCT), QLen: int(fs.Retransmits),
@@ -53,6 +74,123 @@ func (n *Net) Observe(rec *obs.Recorder) {
 			}
 		}
 	}
+	n.installSampler(rec)
+}
+
+// installSampler registers the standard time-series sources and hooks the
+// sampler (and watchdog check) into the engine clock.
+func (n *Net) installSampler(rec *obs.Recorder) {
+	ss := rec.Series
+	wd := rec.Watchdog
+	if ss == nil && wd == nil {
+		return
+	}
+	check := func() {
+		if wd != nil && wd.Check(n.Pool.LiveBytes(), int64(n.Eng.Pending())) && !wd.KeepRunning {
+			n.Eng.Stop()
+		}
+	}
+	if ss == nil {
+		// Watchdog without telemetry: a check-only clock hook.
+		n.Eng.SetSampler(DefaultWatchdogInterval, check)
+		return
+	}
+	n.registerSources(ss)
+	ss.Start = n.Eng.Now()
+	n.Eng.SetSampler(ss.Interval, func() {
+		ss.Sample()
+		check()
+	})
+}
+
+// registerSources adds the standard source catalogue to a series set, in a
+// fixed order so artifacts are deterministic: run-wide gauges, per-priority
+// fabric occupancy, per-switch buffer occupancy, then per-port queue depth
+// and pause state.
+func (n *Net) registerSources(ss *obs.SeriesSet) {
+	ss.Add("net/inflight_bytes", "bytes", func() float64 {
+		return float64(n.Pool.LiveBytes())
+	})
+	ss.Add("net/inflight_packets", "packets", func() float64 {
+		return float64(n.Pool.LivePackets())
+	})
+	ss.Add("net/event_heap", "events", func() float64 {
+		return float64(n.Eng.Pending())
+	})
+	allPorts := n.allPorts()
+	ss.Add("net/paused_queues", "queues", func() float64 {
+		total := 0
+		for _, p := range allPorts {
+			total += p.PausedQueues()
+		}
+		return float64(total)
+	})
+	// Per-priority occupancy across the fabric (switch egress queues only:
+	// host NICs are single-queue and would smear the per-priority signal).
+	var fabric []*netsim.Port
+	nprio := 0
+	for _, sw := range n.Topo.Switches {
+		for _, p := range sw.Ports {
+			fabric = append(fabric, p)
+			if nq := p.NumQueues(); nq > nprio {
+				nprio = nq
+			}
+		}
+	}
+	for q := 0; q < nprio; q++ {
+		q := q
+		ss.Add("net/prio"+itoa(q)+"/queued_bytes", "bytes", func() float64 {
+			total := 0
+			for _, p := range fabric {
+				if q < p.NumQueues() {
+					total += p.QueueBytes(q)
+				}
+			}
+			return float64(total)
+		})
+	}
+	for _, sw := range n.Topo.Switches {
+		sw := sw
+		ss.Add("switch/"+sw.Name+"/buffer_bytes", "bytes", func() float64 {
+			return float64(sw.BufferUsed())
+		})
+		ss.Add("switch/"+sw.Name+"/headroom_bytes", "bytes", func() float64 {
+			return float64(sw.HeadroomUsed())
+		})
+	}
+	for _, sw := range n.Topo.Switches {
+		for _, p := range sw.Ports {
+			addPortSources(ss, sw.Name, p)
+		}
+	}
+	for _, h := range n.Topo.Hosts {
+		addPortSources(ss, h.DeviceName(), h.NIC)
+	}
+}
+
+func addPortSources(ss *obs.SeriesSet, dev string, p *netsim.Port) {
+	prefix := "port/" + dev + ":" + itoa(p.Index) + "/"
+	ss.Add(prefix+"queue_bytes", "bytes", func() float64 {
+		return float64(p.TotalQueuedBytes())
+	})
+	ss.Add(prefix+"paused", "bool", func() float64 {
+		if p.PausedQueues() > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// allPorts returns every port in the network: switch ports then host NICs.
+func (n *Net) allPorts() []*netsim.Port {
+	var out []*netsim.Port
+	for _, sw := range n.Topo.Switches {
+		out = append(out, sw.Ports...)
+	}
+	for _, h := range n.Topo.Hosts {
+		out = append(out, h.NIC)
+	}
+	return out
 }
 
 // CollectMetrics walks the network and records every device counter and
@@ -79,6 +217,7 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 	pauses := m.Counter("net/pfc_pauses")
 	pauseUS := m.Counter("net/pfc_pause_us")
 	bufHWM := m.Gauge("net/buffer_hwm_bytes")
+	hdrHWM := m.Gauge("net/headroom_hwm_bytes")
 	queueHWM := m.Gauge("net/queue_hwm_bytes")
 
 	collectPort := func(dev string, p *netsim.Port) {
@@ -100,11 +239,13 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 		m.Counter(prefix + "ecn_marks").Add(float64(sw.ECNMarks))
 		m.Counter(prefix + "pfc_pauses").Add(float64(sw.PausesSent()))
 		m.Gauge(prefix + "buffer_hwm_bytes").Observe(float64(sw.BufferHWM()))
+		m.Gauge(prefix + "headroom_hwm_bytes").Observe(float64(sw.HeadroomHWM()))
 		drops.Add(float64(sw.Drops()))
 		dropBytes.Add(float64(sw.DropBytes()))
 		marks.Add(float64(sw.ECNMarks))
 		pauses.Add(float64(sw.PausesSent()))
 		bufHWM.Observe(float64(sw.BufferHWM()))
+		hdrHWM.Observe(float64(sw.HeadroomHWM()))
 		for _, p := range sw.Ports {
 			collectPort(sw.Name, p)
 		}
@@ -113,6 +254,12 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 		m.Counter("host/" + itoa(h.ID) + "/rx_packets").Add(float64(h.RxPackets))
 		rxPkts.Add(float64(h.RxPackets))
 		collectPort(h.DeviceName(), h.NIC)
+	}
+	if rec.Watchdog != nil {
+		trips := m.Counter("net/watchdog_trips")
+		if rec.Watchdog.Tripped() != "" {
+			trips.Add(1)
+		}
 	}
 }
 

@@ -46,14 +46,14 @@ var netAggregates = []string{
 	"net/tx_packets", "net/tx_bytes", "net/rx_packets",
 	"net/drops", "net/drop_bytes", "net/ecn_marks",
 	"net/pfc_pauses", "net/pfc_pause_us",
-	"net/buffer_hwm_bytes", "net/queue_hwm_bytes",
+	"net/buffer_hwm_bytes", "net/headroom_hwm_bytes", "net/queue_hwm_bytes",
 }
 
 // perEntitySuffixes maps a name prefix to the metrics every entity of that
 // kind must report (also the docs/OBSERVABILITY.md list).
 var perEntitySuffixes = map[string][]string{
 	"switch/star/": {"rx_packets", "drops", "drop_bytes", "ecn_marks",
-		"pfc_pauses", "buffer_hwm_bytes"},
+		"pfc_pauses", "buffer_hwm_bytes", "headroom_hwm_bytes"},
 	"port/star:0/":  {"tx_packets", "tx_bytes", "paused_us", "queue_hwm_bytes"},
 	"port/host0:0/": {"tx_packets", "tx_bytes", "paused_us", "queue_hwm_bytes"},
 	"host/2/":       {"rx_packets"},
@@ -142,5 +142,115 @@ func TestCollectMetricsWithoutObserve(t *testing.T) {
 	}
 	if v, _ := rec.Metrics.Value("net/tx_packets"); v <= 0 {
 		t.Errorf("net/tx_packets = %v, want > 0: device counters are always on", v)
+	}
+}
+
+// TestObserveSeriesAndHists: the full telemetry stack on a real run — the
+// standard source catalogue is registered, the engine-clock sampler fills
+// every series in lockstep, and the latency histograms are populated.
+func TestObserveSeriesAndHists(t *testing.T) {
+	net, eng := newNet(3)
+	rec := obs.NewRecorder()
+	rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+	rec.Hist = obs.NewHistSet()
+	net.Observe(rec)
+
+	done := 0
+	for src := 0; src < 2; src++ {
+		net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: 100_000, Prio: 0,
+			Algo: swift(net, src, 2), OnComplete: func(sim.Time) { done++ }})
+	}
+	eng.RunUntil(5 * sim.Millisecond)
+	if done != 2 {
+		t.Fatalf("%d/2 flows completed under full telemetry", done)
+	}
+
+	ss := rec.Series
+	if ss.Ticks() == 0 {
+		t.Fatal("sampler never fired")
+	}
+	byName := map[string]*obs.Series{}
+	for _, s := range ss.All() {
+		if s.Len() != ss.Ticks() {
+			t.Errorf("series %q has %d samples, want %d: columns out of lockstep", s.Name, s.Len(), ss.Ticks())
+		}
+		byName[s.Name] = s
+	}
+	for _, name := range []string{
+		"net/inflight_bytes", "net/inflight_packets", "net/event_heap",
+		"net/paused_queues", "net/prio0/queued_bytes",
+		"switch/star/buffer_bytes", "switch/star/headroom_bytes",
+		"port/star:0/queue_bytes",
+		"port/star:0/paused", "port/host0:0/queue_bytes",
+	} {
+		if byName[name] == nil {
+			t.Errorf("standard series %q not registered", name)
+		}
+	}
+	peak := 0.0
+	for _, v := range byName["net/inflight_bytes"].V {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= 0 {
+		t.Error("net/inflight_bytes never rose above zero during a 200KB transfer")
+	}
+
+	if n := rec.Hist.FCT.Count(); n != 2 {
+		t.Errorf("FCT histogram has %d observations, want 2", n)
+	}
+	if rec.Hist.AckRTT.Count() == 0 || rec.Hist.FabricDelay.Count() == 0 {
+		t.Error("RTT/delay histograms empty after a full run")
+	}
+	if rec.Hist.FabricDelay.Min() <= 0 {
+		t.Errorf("fabric delay min = %dns, want > 0", rec.Hist.FabricDelay.Min())
+	}
+}
+
+// TestObserveWatchdogStopsEngine: an in-flight ceiling the traffic is sure
+// to cross stops the run at a sampling tick, latches the reason, and shows
+// up as net/watchdog_trips in the collected metrics.
+func TestObserveWatchdogStopsEngine(t *testing.T) {
+	net, eng := newNet(3)
+	rec := obs.NewRecorder()
+	rec.Watchdog = &obs.Watchdog{MaxInflightBytes: 1}
+	net.Observe(rec)
+	done := 0
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1_000_000, Prio: 0,
+		Algo: swift(net, 0, 2), OnComplete: func(sim.Time) { done++ }})
+	horizon := 50 * sim.Millisecond
+	eng.RunUntil(horizon)
+	if rec.Watchdog.Tripped() != "inflight_bytes" {
+		t.Fatalf("Tripped = %q, want inflight_bytes", rec.Watchdog.Tripped())
+	}
+	if done != 0 {
+		t.Error("flow completed despite the engine being stopped at the first tick")
+	}
+	if eng.Now() >= horizon {
+		t.Errorf("engine ran to the horizon (%v) instead of stopping at the trip", eng.Now())
+	}
+	net.CollectMetrics(rec)
+	if v, _ := rec.Metrics.Value("net/watchdog_trips"); v != 1 {
+		t.Errorf("net/watchdog_trips = %v, want 1", v)
+	}
+}
+
+// TestObserveWatchdogKeepRunning: diagnosis mode records the trip but lets
+// the run finish.
+func TestObserveWatchdogKeepRunning(t *testing.T) {
+	net, eng := newNet(3)
+	rec := obs.NewRecorder()
+	rec.Watchdog = &obs.Watchdog{MaxInflightBytes: 1, KeepRunning: true}
+	net.Observe(rec)
+	done := 0
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 100_000, Prio: 0,
+		Algo: swift(net, 0, 2), OnComplete: func(sim.Time) { done++ }})
+	eng.RunUntil(50 * sim.Millisecond)
+	if rec.Watchdog.Tripped() != "inflight_bytes" {
+		t.Errorf("Tripped = %q, want inflight_bytes", rec.Watchdog.Tripped())
+	}
+	if done != 1 {
+		t.Error("KeepRunning watchdog still stopped the run")
 	}
 }

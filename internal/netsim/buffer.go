@@ -87,6 +87,8 @@ type sharedBuffer struct {
 	shared  int // bytes available to the shared pool
 	used    int // shared pool occupancy
 	UsedHWM int // highest shared-pool occupancy seen
+	hdrUsed int // total headroom occupancy across all ingress classes
+	HdrHWM  int // highest headroom occupancy seen
 
 	// Per ingress (port, prio) state, indexed [port][prio].
 	ingBytes [][]int
@@ -126,6 +128,12 @@ func (b *sharedBuffer) SharedFree() int { return b.shared - b.used }
 // Used returns the shared-pool occupancy in bytes.
 func (b *sharedBuffer) Used() int { return b.used }
 
+// HeadroomUsed returns the total PFC headroom occupancy in bytes. Under
+// heavy incast most queued bytes live here, not in the shared pool: once
+// an ingress class crosses xoff, everything it receives spills into its
+// headroom reservation until the upstream pause takes effect.
+func (b *sharedBuffer) HeadroomUsed() int { return b.hdrUsed }
+
 func (b *sharedBuffer) lossless(prio int) bool {
 	return b.cfg.PFCEnabled && prio < b.cfg.LosslessPrios
 }
@@ -164,6 +172,10 @@ func (b *sharedBuffer) admitLossless(port, prio, size int) (admitted, sendPause 
 			return false, false
 		}
 		b.hdrBytes[port][prio] += size
+		b.hdrUsed += size
+		if b.hdrUsed > b.HdrHWM {
+			b.HdrHWM = b.hdrUsed
+		}
 	}
 	b.ingBytes[port][prio] = ing
 	if !b.paused[port][prio] && ing > b.xoff() {
@@ -204,8 +216,10 @@ func (b *sharedBuffer) release(port, prio, size int, lossless bool) (sendResume 
 	if h := b.hdrBytes[port][prio]; h > 0 {
 		if size <= h {
 			b.hdrBytes[port][prio] -= size
+			b.hdrUsed -= size
 		} else {
 			b.hdrBytes[port][prio] = 0
+			b.hdrUsed -= h
 			b.used -= size - h
 		}
 	} else {

@@ -36,6 +36,8 @@ type PacketPool struct {
 	Gets int64 // packets handed out, recycled or fresh
 	News int64 // fresh heap allocations (free list was empty)
 	Puts int64 // packets returned
+
+	liveBytes int64 // wire bytes of packets currently out of the pool
 }
 
 // NewPacketPool returns an empty pool.
@@ -47,6 +49,25 @@ func (p *PacketPool) FreeLen() int {
 		return 0
 	}
 	return len(p.free)
+}
+
+// LivePackets returns the number of packets currently out of the pool (the
+// run's in-flight population: queued, on the wire, or held by a stack).
+func (p *PacketPool) LivePackets() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.Gets - p.Puts
+}
+
+// LiveBytes returns the wire bytes of packets currently out of the pool.
+// This is the gauge the obs watchdog monitors: an uncontrolled sender shows
+// up here long before the process feels it as RSS.
+func (p *PacketPool) LiveBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.liveBytes
 }
 
 // get hands out a zeroed packet, recycled when possible. The INT backing
@@ -78,6 +99,7 @@ func (p *PacketPool) Put(pkt *Packet) {
 	if poolDebug && pkt.inPool {
 		panic("netsim: packet double-freed (Put on an already-recycled packet)")
 	}
+	p.liveBytes -= int64(pkt.Wire)
 	*pkt = Packet{INT: pkt.INT[:0], gen: pkt.gen + 1, inPool: true}
 	p.free = append(p.free, pkt)
 	p.Puts++
@@ -103,6 +125,9 @@ func (p *PacketPool) Data(flow int64, src, dst, prio int, seq int64, payload int
 	pkt.Payload = payload
 	pkt.Wire = payload + HeaderBytes
 	pkt.Hash = flowHash(flow)
+	if p != nil {
+		p.liveBytes += int64(pkt.Wire)
+	}
 	return pkt
 }
 
@@ -130,6 +155,9 @@ func (p *PacketPool) Ack(data *Packet, ackPrio int, cum int64) *Packet {
 	ack.SentAt = data.SentAt // echo the sender's hardware timestamp
 	ack.CE = data.CE
 	ack.Hash = flowHash(data.FlowID) ^ 0x9e3779b9
+	if p != nil {
+		p.liveBytes += int64(ack.Wire)
+	}
 	return ack
 }
 
@@ -144,6 +172,9 @@ func (p *PacketPool) Probe(flow int64, src, dst, prio int) *Packet {
 	pkt.Prio = prio
 	pkt.Wire = AckBytes
 	pkt.Hash = flowHash(flow)
+	if p != nil {
+		p.liveBytes += int64(pkt.Wire)
+	}
 	return pkt
 }
 
@@ -159,5 +190,8 @@ func (p *PacketPool) ProbeAck(probe *Packet, ackPrio int) *Packet {
 	pkt.Wire = AckBytes
 	pkt.SentAt = probe.SentAt
 	pkt.Hash = flowHash(probe.FlowID) ^ 0x9e3779b9
+	if p != nil {
+		p.liveBytes += int64(pkt.Wire)
+	}
 	return pkt
 }

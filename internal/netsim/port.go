@@ -206,6 +206,10 @@ func (p *Port) SetPaused(prio int, on bool) {
 // Paused reports the pause state of one priority queue.
 func (p *Port) Paused(prio int) bool { return p.paused[p.clampPrio(prio)] }
 
+// PausedQueues returns how many of the port's priority queues are currently
+// PFC-paused (a time-series sampling point).
+func (p *Port) PausedQueues() int { return p.npaused }
+
 func (p *Port) startTx() {
 	// Strict priority: highest-index unpaused non-empty queue first.
 	for q := len(p.queues) - 1; q >= 0; q-- {

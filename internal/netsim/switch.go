@@ -88,6 +88,13 @@ func (s *Switch) PausesSent() int64 { return s.buf.PausesSent }
 // BufferUsed returns the shared-pool occupancy in bytes.
 func (s *Switch) BufferUsed() int { return s.buf.Used() }
 
+// HeadroomUsed returns the PFC headroom occupancy in bytes; under incast
+// this, not the shared pool, is where most queued bytes live.
+func (s *Switch) HeadroomUsed() int { return s.buf.HeadroomUsed() }
+
+// HeadroomHWM returns the peak PFC headroom occupancy seen.
+func (s *Switch) HeadroomHWM() int { return s.buf.HdrHWM }
+
 // HandlePause implements Device: pause/resume our egress queue on the port
 // the frame arrived on.
 func (s *Switch) HandlePause(prio int, on bool, in *Port) {

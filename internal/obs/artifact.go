@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Artifact is the on-disk record of one run's telemetry: metric snapshot,
+// time series, and histogram summaries, serialized as JSONL (one typed
+// record per line) so large timelines stream without a giant in-memory
+// document. WriteArtifact emits it after a run; ReadArtifact loads it back
+// for `prioplus-sim report`. This is a post-run format — it uses
+// encoding/json, not the hand-rolled trace encoder, because it is written
+// once per run, not once per packet.
+//
+// Line types:
+//
+//	{"type":"meta","run":...,"interval_us":...,"start_us":...,"watchdog":...}
+//	{"type":"sample","i":0,"t_us":...,"v":[...]}          // one per tick
+//	{"type":"hist","name":...,"unit":...,"count":...,...}  // one per histogram
+//	{"type":"metric","name":...,"v":...}                   // one per metric
+//
+// The meta line declares the series column order; every sample line's "v"
+// array aligns with it.
+type Artifact struct {
+	Run        string
+	IntervalUS float64
+	StartUS    float64
+	Watchdog   string // watchdog trip reason, "" when healthy
+	Series     []ArtifactSeries
+	Hists      []ArtifactHist
+	Metrics    []ArtifactMetric
+}
+
+// ArtifactSeries is one reconstructed time-series column.
+type ArtifactSeries struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit"`
+	V    []float64 `json:"-"`
+}
+
+// ArtifactHist is one histogram summary.
+type ArtifactHist struct {
+	Name    string     `json:"name"`
+	Unit    string     `json:"unit"`
+	Count   int64      `json:"count"`
+	Mean    float64    `json:"mean"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	P50     int64      `json:"p50"`
+	P90     int64      `json:"p90"`
+	P99     int64      `json:"p99"`
+	P999    int64      `json:"p999"`
+	Buckets [][3]int64 `json:"buckets,omitempty"` // [lo, hi, count]
+}
+
+// ArtifactMetric is one end-of-run metric value.
+type ArtifactMetric struct {
+	Name string  `json:"name"`
+	V    float64 `json:"v"`
+}
+
+type artifactLine struct {
+	Type       string           `json:"type"`
+	Run        string           `json:"run,omitempty"`
+	IntervalUS float64          `json:"interval_us,omitempty"`
+	StartUS    float64          `json:"start_us,omitempty"`
+	Watchdog   string           `json:"watchdog,omitempty"`
+	Series     []ArtifactSeries `json:"series,omitempty"`
+	I          int              `json:"i,omitempty"`
+	TUS        float64          `json:"t_us,omitempty"`
+	V          []float64        `json:"v,omitempty"`
+	Hist       *ArtifactHist    `json:"hist,omitempty"`
+	Metric     *ArtifactMetric  `json:"metric,omitempty"`
+}
+
+// WriteArtifact serializes a run's telemetry to w. Series, histograms, and
+// metrics are each optional: whatever the recorder has enabled is emitted.
+func WriteArtifact(w io.Writer, run string, rec *Recorder) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+
+	meta := artifactLine{Type: "meta", Run: run}
+	if rec.Watchdog != nil {
+		meta.Watchdog = rec.Watchdog.Tripped()
+	}
+	if rec.Series != nil {
+		meta.IntervalUS = rec.Series.Interval.Micros()
+		meta.StartUS = rec.Series.Start.Micros()
+		for _, s := range rec.Series.All() {
+			meta.Series = append(meta.Series, ArtifactSeries{Name: s.Name, Unit: s.Unit})
+		}
+	}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+
+	if rec.Series != nil {
+		all := rec.Series.All()
+		row := make([]float64, len(all))
+		for i := 0; i < rec.Series.Ticks(); i++ {
+			for j, s := range all {
+				row[j] = s.V[i]
+			}
+			line := artifactLine{Type: "sample", I: i, TUS: rec.Series.TimeAt(i).Micros(), V: row}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	if rec.Hist != nil {
+		for _, h := range rec.Hist.All() {
+			if err := enc.Encode(artifactLine{Type: "hist", Hist: summarizeHist(h)}); err != nil {
+				return err
+			}
+		}
+	}
+	if rec.Metrics != nil {
+		for _, name := range rec.Metrics.Names() {
+			v, _ := rec.Metrics.Value(name)
+			if err := enc.Encode(artifactLine{Type: "metric", Metric: &ArtifactMetric{Name: name, V: v}}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// summarizeHist flattens a histogram into its artifact form.
+func summarizeHist(h *Histogram) *ArtifactHist {
+	out := &ArtifactHist{
+		Name:  h.Name,
+		Unit:  h.Unit,
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+	h.Buckets(func(lo, hi, count int64) {
+		out.Buckets = append(out.Buckets, [3]int64{lo, hi, count})
+	})
+	return out
+}
+
+// ReadArtifact parses an artifact stream written by WriteArtifact,
+// reassembling the per-sample rows into per-series columns.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	art := &Artifact{}
+	n := 0
+	for sc.Scan() {
+		n++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line artifactLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("artifact line %d: %w", n, err)
+		}
+		switch line.Type {
+		case "meta":
+			art.Run = line.Run
+			art.IntervalUS = line.IntervalUS
+			art.StartUS = line.StartUS
+			art.Watchdog = line.Watchdog
+			art.Series = line.Series
+		case "sample":
+			if len(line.V) != len(art.Series) {
+				return nil, fmt.Errorf("artifact line %d: sample has %d values for %d series", n, len(line.V), len(art.Series))
+			}
+			for j := range line.V {
+				art.Series[j].V = append(art.Series[j].V, line.V[j])
+			}
+		case "hist":
+			if line.Hist != nil {
+				art.Hists = append(art.Hists, *line.Hist)
+			}
+		case "metric":
+			if line.Metric != nil {
+				art.Metrics = append(art.Metrics, *line.Metric)
+			}
+		default:
+			return nil, fmt.Errorf("artifact line %d: unknown type %q", n, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// TimeAtUS returns the microsecond timestamp of sample i.
+func (a *Artifact) TimeAtUS(i int) float64 {
+	return a.StartUS + float64(i+1)*a.IntervalUS
+}

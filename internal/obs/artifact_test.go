@@ -1,0 +1,192 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prioplus/internal/obs"
+	"prioplus/internal/sim"
+)
+
+// TestJSONLSinkEscapesStrings is the round-trip contract for string fields
+// in trace output: arbitrary device labels — quotes, backslashes, control
+// characters, non-ASCII — must come back intact through a JSON decoder.
+func TestJSONLSinkEscapesStrings(t *testing.T) {
+	devs := []string{
+		`plain`,
+		`quo"te`,
+		`back\slash`,
+		"tab\there",
+		"new\nline",
+		"cr\rreturn",
+		"ctrl\x01\x1f",
+		"utf8-Ω-切替",
+		`both"\and` + "\n\x02",
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	for i, dev := range devs {
+		sink.Trace(obs.Event{T: sim.Time(i + 1), Kind: obs.Enqueue, Dev: dev, Bytes: 1})
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(devs) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(devs))
+	}
+	for i, line := range lines {
+		var rec struct {
+			Dev string `json:"dev"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Errorf("line %d is not valid JSON: %v\n%s", i, err, line)
+			continue
+		}
+		if rec.Dev != devs[i] {
+			t.Errorf("line %d dev = %q, want %q", i, rec.Dev, devs[i])
+		}
+	}
+}
+
+func sampleRecorder(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := obs.NewRecorder()
+	rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+	rec.Series.Start = 2 * sim.Microsecond
+	v := 0.0
+	rec.Series.Add("net/inflight_bytes", "bytes", func() float64 { return v })
+	rec.Series.Add("net/paused_queues", "queues", func() float64 { return 2 * v })
+	for i := 0; i < 5; i++ {
+		v = float64(i * 100)
+		rec.Series.Sample()
+	}
+	rec.Hist = obs.NewHistSet()
+	for _, d := range []int64{100, 200, 400, 100000} {
+		rec.Hist.FabricDelay.Observe(d)
+	}
+	rec.Metrics.Counter("net/drops").Add(7)
+	rec.Metrics.Gauge("net/buffer_hwm_bytes").Observe(1234)
+	rec.Watchdog = &obs.Watchdog{MaxInflightBytes: 1}
+	rec.Watchdog.Check(2, 0) // trip it, so the artifact carries the reason
+	return rec
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	rec := sampleRecorder(t)
+	var buf bytes.Buffer
+	if err := obs.WriteArtifact(&buf, `run "A"/np=8`, rec); err != nil {
+		t.Fatal(err)
+	}
+	a, err := obs.ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Run != `run "A"/np=8` {
+		t.Errorf("Run = %q", a.Run)
+	}
+	if a.Watchdog != "inflight_bytes" {
+		t.Errorf("Watchdog = %q, want inflight_bytes", a.Watchdog)
+	}
+	if a.IntervalUS != 10 || a.StartUS != 2 {
+		t.Errorf("IntervalUS/StartUS = %v/%v, want 10/2", a.IntervalUS, a.StartUS)
+	}
+	if len(a.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(a.Series))
+	}
+	if a.Series[0].Name != "net/inflight_bytes" || a.Series[0].Unit != "bytes" {
+		t.Errorf("series 0 identity = %q/%q", a.Series[0].Name, a.Series[0].Unit)
+	}
+	want0 := []float64{0, 100, 200, 300, 400}
+	want1 := []float64{0, 200, 400, 600, 800}
+	if !reflect.DeepEqual(a.Series[0].V, want0) || !reflect.DeepEqual(a.Series[1].V, want1) {
+		t.Errorf("series values = %v / %v, want %v / %v", a.Series[0].V, a.Series[1].V, want0, want1)
+	}
+	if got := a.TimeAtUS(0); got != 12 {
+		t.Errorf("TimeAtUS(0) = %v, want 12", got)
+	}
+
+	if len(a.Hists) != 3 {
+		t.Fatalf("got %d hists, want 3", len(a.Hists))
+	}
+	fd := a.Hists[1]
+	if fd.Name != "transport/fabric_delay" || fd.Count != 4 || fd.Min != 100 || fd.Max != 100000 {
+		t.Errorf("fabric_delay summary = %+v", fd)
+	}
+	if math.Abs(fd.Mean-25175) > 1e-9 {
+		t.Errorf("fabric_delay mean = %v, want 25175", fd.Mean)
+	}
+	if len(fd.Buckets) == 0 {
+		t.Error("fabric_delay has no buckets in the artifact")
+	}
+	var n int64
+	for _, b := range fd.Buckets {
+		n += b[2]
+	}
+	if n != 4 {
+		t.Errorf("bucket counts sum to %d, want 4", n)
+	}
+
+	if len(a.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(a.Metrics))
+	}
+	if a.Metrics[0].Name != "net/drops" || a.Metrics[0].V != 7 {
+		t.Errorf("metric 0 = %+v", a.Metrics[0])
+	}
+	if a.Metrics[1].Name != "net/buffer_hwm_bytes" || a.Metrics[1].V != 1234 {
+		t.Errorf("metric 1 = %+v", a.Metrics[1])
+	}
+}
+
+func TestArtifactDeterministicBytes(t *testing.T) {
+	// The artifact encoding itself must be byte-stable: two identical
+	// recorders produce identical files (this is what lets the batch runner
+	// promise byte-identical artifacts for any -parallel).
+	var a, b bytes.Buffer
+	if err := obs.WriteArtifact(&a, "x", sampleRecorder(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteArtifact(&b, "x", sampleRecorder(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical recorders produced different artifact bytes")
+	}
+}
+
+func TestReadArtifactRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       "{not json}\n",
+		"unknown type":   `{"type":"mystery"}` + "\n",
+		"column mm":      `{"type":"meta","series":[{"name":"a","unit":"x"}]}` + "\n" + `{"type":"sample","i":0,"v":[1,2]}` + "\n",
+		"sample no meta": `{"type":"sample","i":0,"v":[1]}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := obs.ReadArtifact(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadArtifact accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadArtifactEmptySeries(t *testing.T) {
+	// A run shorter than one sampling interval emits a meta line with
+	// series declared but zero sample lines; that must read back cleanly.
+	rec := obs.NewRecorder()
+	rec.Series = obs.NewSeriesSet(sim.Second)
+	rec.Series.Add("a", "x", func() float64 { return 0 })
+	var buf bytes.Buffer
+	if err := obs.WriteArtifact(&buf, "short", rec); err != nil {
+		t.Fatal(err)
+	}
+	a, err := obs.ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != 1 || len(a.Series[0].V) != 0 {
+		t.Errorf("empty-series artifact read back as %+v", a.Series)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import "io"
+
+// FlightRecorder keeps the last N trace events in a fixed-size ring. It
+// implements Tracer, so it installs anywhere a trace sink does, but unlike
+// JSONLSink it costs no I/O while the run is healthy: events overwrite the
+// oldest slot, and the ring is only read out when something goes wrong
+// (typically a Watchdog trip). Recording is zero-alloc: events are value
+// copies into a preallocated buffer.
+type FlightRecorder struct {
+	buf   []Event
+	next  int
+	total int64
+
+	// Inner, when non-nil, also receives every event (chaining lets a run
+	// keep a full JSONL trace and a crash ring at once).
+	Inner Tracer
+}
+
+// NewFlightRecorder returns a ring holding the most recent size events.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		panic("obs: flight recorder size must be positive")
+	}
+	return &FlightRecorder{buf: make([]Event, 0, size)}
+}
+
+// Trace implements Tracer.
+func (f *FlightRecorder) Trace(ev Event) {
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.next] = ev
+	}
+	f.next++
+	if f.next == cap(f.buf) {
+		f.next = 0
+	}
+	f.total++
+	if f.Inner != nil {
+		f.Inner.Trace(ev)
+	}
+}
+
+// Total returns the number of events recorded over the ring's lifetime
+// (including overwritten ones).
+func (f *FlightRecorder) Total() int64 { return f.total }
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []Event {
+	if len(f.buf) < cap(f.buf) {
+		return append([]Event(nil), f.buf...)
+	}
+	out := make([]Event, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	return append(out, f.buf[:f.next]...)
+}
+
+// Dump writes the retained events to w as JSONL (same schema as JSONLSink),
+// oldest first, and returns the number written.
+func (f *FlightRecorder) Dump(w io.Writer) (int, error) {
+	sink := NewJSONLSink(w)
+	evs := f.Events()
+	for _, ev := range evs {
+		sink.Trace(ev)
+	}
+	return len(evs), sink.Flush()
+}
+
+// Watchdog trips when a run's resource gauges exceed configured ceilings.
+// It exists for runs like fig18's "Physical* w/o CC", where an uncontrolled
+// sender can grow in-flight state without bound: instead of the process
+// dying on an OOM minutes later, the watchdog fires at a defined threshold,
+// the flight recorder's recent events are dumped for diagnosis, and the run
+// stops with partial results.
+//
+// The harness checks the watchdog at every sampler tick (simulated-time
+// driven, so trips are deterministic and independent of wall clock or
+// worker count).
+type Watchdog struct {
+	// MaxInflightBytes trips on the run's live packet bytes (every packet
+	// currently held by queues, the event heap, or the network). 0 disables.
+	MaxInflightBytes int64
+	// MaxHeapEvents trips on the engine's pending-event count. 0 disables.
+	MaxHeapEvents int64
+	// OnTrip, when non-nil, runs once at the trip (dump the flight
+	// recorder, write a note). The run is stopped after it returns unless
+	// KeepRunning is set.
+	OnTrip func(reason string, value, limit int64)
+	// KeepRunning makes a trip record-and-continue instead of stopping the
+	// run.
+	KeepRunning bool
+
+	tripped string
+}
+
+// Check evaluates the gauges, firing the trip logic the first time a
+// ceiling is exceeded. It returns true while the watchdog is tripped.
+func (w *Watchdog) Check(inflightBytes, heapEvents int64) bool {
+	if w.tripped != "" {
+		return true
+	}
+	switch {
+	case w.MaxInflightBytes > 0 && inflightBytes > w.MaxInflightBytes:
+		w.trip("inflight_bytes", inflightBytes, w.MaxInflightBytes)
+	case w.MaxHeapEvents > 0 && heapEvents > w.MaxHeapEvents:
+		w.trip("heap_events", heapEvents, w.MaxHeapEvents)
+	}
+	return w.tripped != ""
+}
+
+func (w *Watchdog) trip(reason string, value, limit int64) {
+	w.tripped = reason
+	if w.OnTrip != nil {
+		w.OnTrip(reason, value, limit)
+	}
+}
+
+// Tripped returns the trip reason ("inflight_bytes", "heap_events"), or ""
+// while the watchdog is healthy.
+func (w *Watchdog) Tripped() string { return w.tripped }

@@ -1,0 +1,173 @@
+package obs_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prioplus/internal/obs"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := obs.NewHistogram("test/latency", "ns")
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram reports non-zero stats")
+	}
+	for _, v := range []int64{5, 10, 15, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1130 {
+		t.Errorf("Sum = %d, want 1130", h.Sum())
+	}
+	if h.Mean() != 226 {
+		t.Errorf("Mean = %v, want 226", h.Mean())
+	}
+	if h.Min() != 5 || h.Max() != 1000 {
+		t.Errorf("Min/Max = %d/%d, want 5/1000", h.Min(), h.Max())
+	}
+	h.Observe(-7) // clamps to 0
+	if h.Min() != 0 {
+		t.Errorf("Min after negative observe = %d, want 0", h.Min())
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below 16 land in exact unit buckets: quantiles are precise.
+	h := obs.NewHistogram("t", "ns")
+	for v := int64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("Quantile(0.5) = %d, want 7", got)
+	}
+	if got := h.Quantile(1.0); got != 15 {
+		t.Errorf("Quantile(1.0) = %d, want 15", got)
+	}
+	var seen []int64
+	h.Buckets(func(lo, hi, count int64) {
+		if lo != hi || count != 1 {
+			t.Errorf("small-value bucket [%d,%d]x%d, want unit buckets of 1", lo, hi, count)
+		}
+		seen = append(seen, lo)
+	})
+	if len(seen) != 16 {
+		t.Errorf("got %d non-empty buckets, want 16", len(seen))
+	}
+	if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+		t.Error("Buckets not in ascending order")
+	}
+}
+
+// TestHistogramQuantileError checks the documented accuracy contract: the
+// returned quantile is an upper bound within one sub-bucket width (~1/16
+// relative) of the true nearest-rank quantile.
+func TestHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := obs.NewHistogram("t", "ns")
+	vals := make([]int64, 10000)
+	for i := range vals {
+		// Log-uniform over ~6 decades, like latency data.
+		v := int64(1) << uint(rng.Intn(40))
+		v += rng.Int63n(v)
+		vals[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(q * float64(len(vals)))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact %d: must be an upper bound", q, got, exact)
+		}
+		// Upper bucket edge is at most (1+1/16)x the true value (plus the
+		// bucket's rounding to integer edges).
+		if float64(got) > float64(exact)*(1+1.0/16)+1 {
+			t.Errorf("Quantile(%v) = %d, exact %d: error beyond one bucket width", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramBucketsRoundTrip(t *testing.T) {
+	// Every observed value must be covered by exactly the bucket count
+	// reported, and bucket bounds must be consistent (lo <= hi, contiguous
+	// ordering, value within [lo, hi]).
+	h := obs.NewHistogram("t", "ns")
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	var total int64
+	prevHi := int64(-1)
+	h.Buckets(func(lo, hi, count int64) {
+		if lo > hi {
+			t.Errorf("bucket [%d,%d] inverted", lo, hi)
+		}
+		if lo <= prevHi {
+			t.Errorf("bucket [%d,%d] overlaps previous hi %d", lo, hi, prevHi)
+		}
+		covered := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				covered++
+			}
+		}
+		if int64(covered) != count {
+			t.Errorf("bucket [%d,%d] count %d, but %d values fall in it", lo, hi, count, covered)
+		}
+		total += count
+		prevHi = hi
+	})
+	if total != int64(len(vals)) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(vals))
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := obs.NewHistogram("keep/name", "us")
+	h.Observe(123)
+	h.Reset()
+	if h.Name != "keep/name" || h.Unit != "us" {
+		t.Error("Reset dropped identity")
+	}
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestHistSetCanonical(t *testing.T) {
+	s := obs.NewHistSet()
+	all := s.All()
+	want := []string{"transport/ack_rtt", "transport/fabric_delay", "transport/fct"}
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d histograms, want %d", len(all), len(want))
+	}
+	for i, h := range all {
+		if h.Name != want[i] || h.Unit != "ns" {
+			t.Errorf("hist %d = %q/%q, want %q/ns", i, h.Name, h.Unit, want[i])
+		}
+	}
+	// The All() pointers alias the set's fields, so hot-path holders and
+	// artifact writers see the same data.
+	s.AckRTT.Observe(42)
+	if all[0].Count() != 1 {
+		t.Error("All()[0] does not alias HistSet.AckRTT")
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := obs.NewHistogram("t", "ns")
+	v := int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 997
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %v per op, want 0", allocs)
+	}
+}

@@ -127,9 +127,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// Recorder bundles the per-run observability state: a metrics registry and
-// an optional event-trace sink. A nil Trace disables tracing entirely;
-// harness.Net.Observe only installs hooks for the parts that are non-nil.
+// Recorder bundles the per-run observability state: a metrics registry, an
+// optional event-trace sink, and the second-generation instruments —
+// time-series sampler, latency histograms, flight recorder, watchdog. A nil
+// field disables that instrument entirely; harness.Net.Observe only
+// installs hooks for the parts that are non-nil.
 type Recorder struct {
 	// Metrics collects the run's counters and high-water marks. Filled by
 	// harness.Net.CollectMetrics after the run; flow-completion aggregates
@@ -139,9 +141,35 @@ type Recorder struct {
 	// (enqueue, dequeue, drop, ECN mark, PFC pause/resume, flow
 	// completion). Use NewJSONLSink to stream events to a file.
 	Trace Tracer
+	// Series, when non-nil, samples simulator gauges at a fixed simulated-
+	// time interval; harness.Net.Observe registers the standard sources and
+	// installs the engine clock hook.
+	Series *SeriesSet
+	// Hist, when non-nil, records fabric-delay, FCT, and ACK-RTT latency
+	// distributions via zero-alloc streaming histograms.
+	Hist *HistSet
+	// Flight, when non-nil, keeps the most recent trace events in a ring
+	// for post-mortem dumps. It is chained in front of Trace, so the two
+	// compose.
+	Flight *FlightRecorder
+	// Watchdog, when non-nil, is checked against the run's in-flight-bytes
+	// and event-heap gauges at every Series sampling tick — or, when Series
+	// is nil, at harness.DefaultWatchdogInterval.
+	Watchdog *Watchdog
 }
 
 // NewRecorder returns a recorder with an empty registry and no trace sink.
 func NewRecorder() *Recorder {
 	return &Recorder{Metrics: NewRegistry()}
+}
+
+// Tracer resolves the trace sink the simulator hooks should see: the
+// flight recorder chained in front of Trace when both are set, whichever
+// one alone otherwise, or nil when tracing is fully disabled.
+func (r *Recorder) Tracer() Tracer {
+	if r.Flight != nil {
+		r.Flight.Inner = r.Trace
+		return r.Flight
+	}
+	return r.Trace
 }

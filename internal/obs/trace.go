@@ -92,9 +92,8 @@ func (s *JSONLSink) Trace(ev Event) {
 	b = append(b, ev.Kind.String()...)
 	b = append(b, '"')
 	if ev.Dev != "" {
-		b = append(b, `,"dev":"`...)
-		b = append(b, ev.Dev...) // device names contain no JSON metacharacters
-		b = append(b, '"')
+		b = append(b, `,"dev":`...)
+		b = appendJSONString(b, ev.Dev)
 	}
 	b = appendField(b, `,"port":`, int64(ev.Port))
 	b = appendField(b, `,"q":`, int64(ev.Queue))
@@ -114,6 +113,34 @@ func appendField(b []byte, key string, v int64) []byte {
 	}
 	b = append(b, key...)
 	return strconv.AppendInt(b, v, 10)
+}
+
+// appendJSONString appends s as a quoted, escaped JSON string. Device names
+// are plain ASCII in practice, so the common path is a straight copy, but
+// arbitrary labels (quotes, backslashes, control bytes, non-ASCII) must
+// still round-trip as valid JSON. Multi-byte UTF-8 sequences pass through
+// untouched — JSON strings carry raw UTF-8.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(b, '"')
 }
 
 // Flush writes any buffered records to the underlying writer.

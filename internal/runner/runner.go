@@ -67,6 +67,12 @@ type Options struct {
 	Workers int
 	// Timeout bounds each run's wall-clock time; 0 means no limit.
 	Timeout time.Duration
+	// OnResult, when non-nil, is called as each task completes (in
+	// completion order, not task order — use Result.Index to locate the
+	// task). Calls are serialized under an internal mutex, so the callback
+	// may touch shared state (a progress line, a log) without locking.
+	// It must be fast: it runs on the worker goroutine.
+	OnResult func(Result)
 }
 
 // Run executes every task and returns one Result per task, in task order,
@@ -80,9 +86,19 @@ func Run(tasks []Task, opt Options) []Result {
 		workers = len(tasks)
 	}
 	results := make([]Result, len(tasks))
+	var mu sync.Mutex // serializes OnResult
+	notify := func(r Result) {
+		if opt.OnResult == nil {
+			return
+		}
+		mu.Lock()
+		opt.OnResult(r)
+		mu.Unlock()
+	}
 	if workers <= 1 {
 		for i := range tasks {
 			results[i] = execute(tasks[i], i, opt.Timeout)
+			notify(results[i])
 		}
 		return results
 	}
@@ -94,6 +110,7 @@ func Run(tasks []Task, opt Options) []Result {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = execute(tasks[i], i, opt.Timeout)
+				notify(results[i])
 			}
 		}()
 	}

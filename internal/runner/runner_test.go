@@ -1,15 +1,18 @@
 package runner_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"prioplus/internal/cc"
 	"prioplus/internal/harness"
+	"prioplus/internal/obs"
 	"prioplus/internal/runner"
 	"prioplus/internal/sim"
 	"prioplus/internal/topo"
@@ -155,5 +158,92 @@ func TestDefaultWorkers(t *testing.T) {
 		if r.Wall <= 0 {
 			t.Errorf("run %q has no wall-clock measurement", r.Name)
 		}
+	}
+}
+
+// obsTask is simTask with the full telemetry stack enabled — series sampler,
+// histograms, watchdog, metrics — and the serialized artifact as its output,
+// so byte-level comparison covers every instrument.
+func obsTask(name string, seed int64) runner.Task {
+	return runner.Task{
+		Name: name,
+		Run: func() (string, map[string]float64) {
+			eng := sim.NewEngine()
+			cfg := topo.DefaultConfig()
+			net := harness.New(topo.Star(eng, 3, cfg), seed)
+			rec := obs.NewRecorder()
+			rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+			rec.Hist = obs.NewHistSet()
+			rec.Watchdog = &obs.Watchdog{MaxInflightBytes: 1 << 30}
+			net.Observe(rec)
+			for src := 0; src < 2; src++ {
+				algo := cc.NewSwift(cc.DefaultSwiftConfig(
+					net.Topo.BaseRTT(src, 2), net.BDPPackets(src, 2)))
+				net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: 200_000, Algo: algo})
+			}
+			eng.RunUntil(10 * sim.Millisecond)
+			net.CollectMetrics(rec)
+			var buf bytes.Buffer
+			if err := obs.WriteArtifact(&buf, name, rec); err != nil {
+				panic(err)
+			}
+			return buf.String(), nil
+		},
+	}
+}
+
+// TestObsArtifactsDeterministicAcrossWorkers extends the batch-runner
+// contract to telemetry: with series, histograms, and metrics all enabled,
+// the serialized artifact for every run must be byte-identical between
+// -parallel 1 and -parallel 8.
+func TestObsArtifactsDeterministicAcrossWorkers(t *testing.T) {
+	tasks := make([]runner.Task, 8)
+	for i := range tasks {
+		tasks[i] = obsTask(fmt.Sprintf("run%d", i), int64(i+1))
+	}
+	serial := runner.Run(tasks, runner.Options{Workers: 1})
+	parallel := runner.Run(tasks, runner.Options{Workers: 8})
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("run %d errored: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Output != parallel[i].Output {
+			t.Errorf("run %d artifact differs between -parallel 1 and 8", i)
+		}
+		if !strings.Contains(serial[i].Output, `"type":"sample"`) {
+			t.Errorf("run %d artifact has no samples", i)
+		}
+	}
+}
+
+// TestOnResult: the completion callback fires exactly once per task, in
+// completion order, with the final result values.
+func TestOnResult(t *testing.T) {
+	tasks := simTasks(6)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var names []string
+	results := runner.Run(tasks, runner.Options{
+		Workers: 3,
+		OnResult: func(r runner.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen[r.Index]++
+			names = append(names, r.Name)
+			if r.Output == "" {
+				t.Errorf("OnResult for %q before output was set", r.Name)
+			}
+		},
+	})
+	if len(names) != len(tasks) {
+		t.Fatalf("OnResult fired %d times, want %d", len(names), len(tasks))
+	}
+	for i := range tasks {
+		if seen[i] != 1 {
+			t.Errorf("task %d notified %d times, want 1", i, seen[i])
+		}
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results", len(results))
 	}
 }

@@ -78,10 +78,21 @@ type Engine struct {
 	stopped   bool
 	processed uint64
 	free      []*Event // recycled fired/canceled events
+
+	// Clock-driven sampler (SetSampler). sampleAt is the next sampling
+	// instant, maxTime when disabled, so the hot loop pays one always-false
+	// comparison per event when no sampler is installed.
+	sampleAt    Time
+	sampleEvery Time
+	sampleFn    func()
 }
 
+// maxTime is the largest representable simulated time; it doubles as the
+// "never" sentinel for the sampler.
+const maxTime = Time(1<<63 - 1)
+
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{sampleAt: maxTime} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -206,12 +217,34 @@ func (e *Engine) compact() {
 	}
 }
 
+// SetSampler installs a clock-driven sampling hook: fn runs every `every`
+// of simulated time, starting at Now()+every, interleaved deterministically
+// with the event stream — all events with timestamps <= a sampling instant
+// execute before the sample is taken, so fn observes the state "just after"
+// that instant. The hook consumes no heap events: RunUntil fires it by
+// comparing the next event's timestamp against the sampling deadline, and
+// drains any remaining instants up to the horizon before returning.
+//
+// fn must not schedule events in the past; it may call Stop. Passing a nil
+// fn (or every <= 0) removes the sampler.
+func (e *Engine) SetSampler(every Time, fn func()) {
+	if fn == nil || every <= 0 {
+		e.sampleAt = maxTime
+		e.sampleEvery = 0
+		e.sampleFn = nil
+		return
+	}
+	e.sampleEvery = every
+	e.sampleFn = fn
+	e.sampleAt = e.now + every
+}
+
 // Stop makes the current Run or RunUntil return after the executing event
 // completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the schedule is empty or Stop is called.
-func (e *Engine) Run() { e.RunUntil(Time(1<<63 - 1)) }
+func (e *Engine) Run() { e.RunUntil(maxTime) }
 
 // RunUntil executes events with timestamps <= end, then sets the clock to
 // end (unless the run was stopped early or ran out of events beyond end).
@@ -227,6 +260,15 @@ func (e *Engine) RunUntil(end Time) {
 			e.popTop()
 			e.ncanceled--
 			e.recycle(top.ev)
+			continue
+		}
+		if top.at > e.sampleAt && e.sampleAt <= end {
+			// A sampling instant falls strictly before the next event: take
+			// the sample, then re-read the heap top (the hook may Stop or
+			// Cancel). Strict ordering means events AT the instant ran first.
+			e.now = e.sampleAt
+			e.sampleAt += e.sampleEvery
+			e.sampleFn()
 			continue
 		}
 		if top.at > end {
@@ -247,7 +289,16 @@ func (e *Engine) RunUntil(end Time) {
 			fn()
 		}
 	}
-	if !e.stopped && e.now < end && end < Time(1<<63-1) {
+	// Drain sampling instants between the last event and the horizon. Only
+	// for a finite horizon: Run() must still terminate on an empty schedule.
+	if end < maxTime {
+		for !e.stopped && e.sampleAt <= end {
+			e.now = e.sampleAt
+			e.sampleAt += e.sampleEvery
+			e.sampleFn()
+		}
+	}
+	if !e.stopped && e.now < end && end < maxTime {
 		e.now = end
 	}
 }

@@ -1,0 +1,160 @@
+package sim
+
+import "testing"
+
+// TestSamplerInterleavesWithEvents pins the ordering contract: every event
+// with a timestamp <= a sampling instant executes before that sample fires,
+// and the sample observes the clock set to the instant itself.
+func TestSamplerInterleavesWithEvents(t *testing.T) {
+	e := NewEngine()
+	type step struct {
+		kind string // "ev" or "smp"
+		at   Time
+	}
+	var got []step
+	for _, at := range []Time{10, 14, 20, 30} {
+		at := at * Nanosecond
+		e.At(at, func() { got = append(got, step{"ev", e.Now()}) })
+	}
+	e.SetSampler(7*Nanosecond, func() { got = append(got, step{"smp", e.Now()}) })
+	e.RunUntil(30 * Nanosecond)
+
+	want := []step{
+		{"smp", 7 * Nanosecond},
+		{"ev", 10 * Nanosecond},
+		{"ev", 14 * Nanosecond}, // event AT the instant runs before the sample
+		{"smp", 14 * Nanosecond},
+		{"ev", 20 * Nanosecond},
+		{"smp", 21 * Nanosecond},
+		{"smp", 28 * Nanosecond},
+		{"ev", 30 * Nanosecond},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d steps %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSamplerEpilogueDrain: with no events at all, a finite-horizon run still
+// fires every sampling instant up to the horizon and parks the clock there.
+func TestSamplerEpilogueDrain(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.SetSampler(30*Nanosecond, func() { at = append(at, e.Now()) })
+	e.RunUntil(100 * Nanosecond)
+	if len(at) != 3 || at[0] != 30*Nanosecond || at[1] != 60*Nanosecond || at[2] != 90*Nanosecond {
+		t.Errorf("sample instants = %v, want [30ns 60ns 90ns]", at)
+	}
+	if e.Now() != 100*Nanosecond {
+		t.Errorf("Now() = %v, want horizon 100ns", e.Now())
+	}
+}
+
+// TestSamplerRunTerminates: Run() (infinite horizon) must not spin draining
+// sampling instants forever once the schedule is empty.
+func TestSamplerRunTerminates(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.SetSampler(Nanosecond, func() { n++ })
+	e.At(5*Nanosecond, func() {})
+	e.Run()
+	if n != 4 {
+		t.Errorf("sampler fired %d times, want 4 (instants strictly before the last event)", n)
+	}
+	if e.Now() != 5*Nanosecond {
+		t.Errorf("Now() = %v, want 5ns", e.Now())
+	}
+}
+
+// TestSamplerStop: the hook may call Stop; the run ends at that instant and
+// later events stay pending.
+func TestSamplerStop(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(100*Nanosecond, func() { ran = true })
+	e.SetSampler(8*Nanosecond, func() {
+		if e.Now() >= 24*Nanosecond {
+			e.Stop()
+		}
+	})
+	e.RunUntil(Millisecond)
+	if ran {
+		t.Error("event after the Stop instant still executed")
+	}
+	if e.Now() != 24*Nanosecond {
+		t.Errorf("Now() = %v, want 24ns (the stopping instant)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want the unexecuted event", e.Pending())
+	}
+}
+
+// TestSamplerStopDuringEpilogue: Stop from the post-event drain loop must
+// also take effect immediately.
+func TestSamplerStopDuringEpilogue(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.SetSampler(10*Nanosecond, func() {
+		n++
+		e.Stop()
+	})
+	e.RunUntil(Millisecond)
+	if n != 1 {
+		t.Errorf("sampler fired %d times after Stop, want 1", n)
+	}
+}
+
+func TestSamplerDisable(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.SetSampler(Nanosecond, func() { n++ })
+	e.SetSampler(0, nil)
+	e.At(10*Nanosecond, func() {})
+	e.RunUntil(100 * Nanosecond)
+	if n != 0 {
+		t.Errorf("removed sampler fired %d times", n)
+	}
+	// Re-arming starts from the current clock, not from zero.
+	e.SetSampler(25*Nanosecond, func() { n++ })
+	e.RunUntil(200 * Nanosecond)
+	if n != 4 {
+		t.Errorf("re-armed sampler fired %d times, want 4 (125..200ns)", n)
+	}
+}
+
+// TestSamplerNoEventsConsumed: sampling rides the engine clock without
+// touching the event heap, so Pending() and TotalProcessed stay untouched.
+func TestSamplerNoEventsConsumed(t *testing.T) {
+	e := NewEngine()
+	before := TotalProcessed()
+	e.SetSampler(Nanosecond, func() {})
+	e.RunUntil(100 * Nanosecond)
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after pure-sampler run", e.Pending())
+	}
+	if got := TotalProcessed() - before; got != 0 {
+		t.Errorf("sampling processed %d heap events, want 0", got)
+	}
+}
+
+// TestSamplerZeroAlloc pins the hot-path contract: a run dominated by
+// sampler firings performs no allocations.
+func TestSamplerZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var sum int64
+	e.SetSampler(Nanosecond, func() { sum++ })
+	e.RunUntil(Microsecond) // warm
+	if allocs := testing.AllocsPerRun(100, func() {
+		end := e.Now() + 100*Nanosecond
+		e.RunUntil(end)
+	}); allocs != 0 {
+		t.Errorf("sampler run allocates %v per op, want 0", allocs)
+	}
+	if sum == 0 {
+		t.Fatal("sampler never fired")
+	}
+}

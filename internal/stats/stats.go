@@ -67,6 +67,13 @@ func (r FlowRecord) Slowdown() float64 {
 // Collector accumulates completed flows.
 type Collector struct {
 	Flows []FlowRecord
+
+	// Percentile caches: Flows sorted by FCT / slowdown, built lazily on
+	// the first percentile query and reused until Flows grows, so a report
+	// asking for p50/p90/p99/p999 sorts once instead of once per quantile.
+	// Values are exact — the cache changes cost, not results.
+	sortedFCT  []sim.Time
+	sortedSlow []float64
 }
 
 // Add records a completed flow.
@@ -113,13 +120,23 @@ func (c *Collector) PercentileFCT(p float64) sim.Time {
 	if len(c.Flows) == 0 {
 		return 0
 	}
-	fcts := make([]sim.Time, len(c.Flows))
-	for i, f := range c.Flows {
-		fcts[i] = f.FCT
-	}
-	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	fcts := c.fctSorted()
 	idx := int(p * float64(len(fcts)-1))
 	return fcts[idx]
+}
+
+// fctSorted returns the FCTs in ascending order, cached; the cache is
+// rebuilt whenever Flows has grown since it was taken (flows are only ever
+// appended, so a length check suffices).
+func (c *Collector) fctSorted() []sim.Time {
+	if len(c.sortedFCT) != len(c.Flows) {
+		c.sortedFCT = make([]sim.Time, len(c.Flows))
+		for i, f := range c.Flows {
+			c.sortedFCT[i] = f.FCT
+		}
+		sort.Slice(c.sortedFCT, func(i, j int) bool { return c.sortedFCT[i] < c.sortedFCT[j] })
+	}
+	return c.sortedFCT
 }
 
 // MeanSlowdown returns the mean FCT slowdown.
@@ -139,12 +156,21 @@ func (c *Collector) PercentileSlowdown(p float64) float64 {
 	if len(c.Flows) == 0 {
 		return 0
 	}
-	s := make([]float64, len(c.Flows))
-	for i, f := range c.Flows {
-		s[i] = f.Slowdown()
-	}
-	sort.Float64s(s)
+	s := c.slowSorted()
 	return s[int(p*float64(len(s)-1))]
+}
+
+// slowSorted returns the slowdowns in ascending order, cached like
+// fctSorted.
+func (c *Collector) slowSorted() []float64 {
+	if len(c.sortedSlow) != len(c.Flows) {
+		c.sortedSlow = make([]float64, len(c.Flows))
+		for i, f := range c.Flows {
+			c.sortedSlow[i] = f.Slowdown()
+		}
+		sort.Float64s(c.sortedSlow)
+	}
+	return c.sortedSlow
 }
 
 // Speedup returns how much faster this collector's mean FCT is than the

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -115,5 +116,42 @@ func TestEmptyCollectorSafe(t *testing.T) {
 	c := &Collector{}
 	if c.MeanFCT() != 0 || c.PercentileFCT(0.99) != 0 || c.MeanSlowdown() != 0 {
 		t.Error("empty collector should return zeros")
+	}
+}
+
+// TestPercentileCacheInvalidation: the sorted caches are exact and rebuild
+// when flows are appended after a percentile query — answers must always
+// match a from-scratch sort.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	c := &Collector{}
+	// Descending insert so the cache has real sorting work to do.
+	for i := 100; i >= 1; i-- {
+		c.Add(FlowRecord{FCT: sim.Time(i) * sim.Microsecond, Ideal: sim.Microsecond})
+	}
+	if got := c.PercentileFCT(0.5); got != 50*sim.Microsecond {
+		t.Errorf("P50 = %v, want 50us", got)
+	}
+	if got := c.PercentileSlowdown(0.5); got != 50 {
+		t.Errorf("P50 slowdown = %v, want 50", got)
+	}
+	// Append past the cached snapshot: a flow faster than everything seen.
+	c.Add(FlowRecord{FCT: 500 * sim.Nanosecond, Ideal: sim.Microsecond})
+	if got := c.PercentileFCT(0); got != 500*sim.Nanosecond {
+		t.Errorf("P0 after append = %v, want 500ns: cache went stale", got)
+	}
+	if got := c.PercentileSlowdown(0); got != 0.5 {
+		t.Errorf("P0 slowdown after append = %v, want 0.5: cache went stale", got)
+	}
+	// Repeated queries at the same length reuse the cache and stay exact.
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		idx := int(p * float64(c.Count()-1))
+		want := make([]sim.Time, 0, c.Count())
+		for _, f := range c.Flows {
+			want = append(want, f.FCT)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if got := c.PercentileFCT(p); got != want[idx] {
+			t.Errorf("PercentileFCT(%v) = %v, want exact %v", p, got, want[idx])
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"prioplus/internal/cc"
 	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -36,6 +37,14 @@ type Stack struct {
 	// the transport's observability hook (harness.Net.Observe wires it to
 	// an obs.Recorder); nil costs one branch per flow completion.
 	OnFlowDone func(FlowStats)
+
+	// RTTHist, when non-nil, records every sender-side data-ACK RTT sample
+	// in nanoseconds (after Noise — the same value the CC sees). DelayHist
+	// records the receiver-side one-way fabric delay of every delivered
+	// data packet (SentAt to delivery, no noise) in nanoseconds. Installed
+	// by harness.Net.Observe; nil costs one branch per sample.
+	RTTHist   *obs.Histogram
+	DelayHist *obs.Histogram
 
 	// Pool, when non-nil, is the run-wide packet pool: all packets this
 	// stack emits are drawn from it and every packet it terminates
@@ -148,6 +157,9 @@ func (st *Stack) onData(pkt *netsim.Packet) {
 	prio := st.AckPrio
 	if st.AckPrioData {
 		prio = pkt.Prio
+	}
+	if st.DelayHist != nil {
+		st.DelayHist.Observe(int64((st.Eng.Now() - pkt.SentAt) / sim.Nanosecond))
 	}
 	// The ACK takes ownership of the data packet's INT records; the data
 	// packet itself is done and goes back to the pool.
@@ -536,6 +548,9 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 	}
 	rtt := s.st.measureRTT(pkt.SentAt)
 	s.updateSRTT(rtt)
+	if s.st.RTTHist != nil {
+		s.st.RTTHist.Observe(int64(rtt / sim.Nanosecond))
+	}
 
 	newly := 0
 	if seg, ok := s.unacked[pkt.Seq]; ok {
