@@ -153,6 +153,30 @@ func BenchmarkFig10bIncastObs(b *testing.B) {
 	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
 }
 
+// BenchmarkFig10bIncastTrace: the same incast with causal flow tracing on
+// for four sampled flows — packet journeys at the default stride plus the
+// full CC decision audit. The acceptance bar is < 10% over
+// BenchmarkFig10bIncast; unsampled flows ride the zero-alloc path.
+func BenchmarkFig10bIncastTrace(b *testing.B) {
+	var r exp.Fig10bResult
+	var spans int
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		rec.FlowTrace = obs.NewFlowTracer(4)
+		r = exp.Fig10bObs(80, rec)
+		spans = 0
+		for _, fl := range rec.FlowTrace.Logs() {
+			spans += fl.Len()
+		}
+		if spans == 0 {
+			b.Fatal("flow tracer recorded nothing")
+		}
+	}
+	b.ReportMetric(r.WithinFrac, "within_channel_frac")
+	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
+	b.ReportMetric(float64(spans), "trace_spans")
+}
+
 // BenchmarkFig10cDualRTT: dual-RTT vs every-RTT adaptive increase.
 func BenchmarkFig10cDualRTT(b *testing.B) {
 	var r exp.Fig10cResult

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"prioplus/internal/exp"
 	"prioplus/internal/obs"
@@ -65,6 +67,8 @@ func main() {
 		os.Exit(runAll(os.Args[2:]))
 	case "report":
 		os.Exit(runReport(os.Args[2:]))
+	case "trace":
+		os.Exit(runTrace(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet(expID, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's full scale")
@@ -102,19 +106,27 @@ func main() {
 
 // obsFlagSet is the raw observability flag values before validation.
 type obsFlagSet struct {
-	seriesDir *string
-	hist      *bool
-	watchdog  *string
-	wdEvents  *int64
+	seriesDir  *string
+	hist       *bool
+	watchdog   *string
+	wdEvents   *int64
+	traceFlows *int
+	traceMatch *string
+	traceEvery *int
+	tracePkts  *int
 }
 
 // addObsFlags registers the shared observability flags on fs.
 func addObsFlags(fs *flag.FlagSet) obsFlagSet {
 	return obsFlagSet{
-		seriesDir: fs.String("series", "", "write per-run timeline artifacts (JSONL) into this directory"),
-		hist:      fs.Bool("hist", false, "record streaming histograms (FCT, fabric delay, ACK RTT) and print summaries"),
-		watchdog:  fs.String("watchdog", "", "in-flight bytes ceiling (e.g. 256m); tripping stops the run and dumps the flight recorder"),
-		wdEvents:  fs.Int64("watchdog-events", 0, "event-heap size ceiling for the watchdog (0 = off)"),
+		seriesDir:  fs.String("series", "", "write per-run timeline artifacts (JSONL) into this directory"),
+		hist:       fs.Bool("hist", false, "record streaming histograms (FCT, fabric delay, ACK RTT) and print summaries"),
+		watchdog:   fs.String("watchdog", "", "in-flight bytes ceiling (e.g. 256m); tripping stops the run and dumps the flight recorder"),
+		wdEvents:   fs.Int64("watchdog-events", 0, "event-heap size ceiling for the watchdog (0 = off)"),
+		traceFlows: fs.Int("trace-flows", 0, "flow-trace up to N flows (packet journeys + CC decision audit; needs -series)"),
+		traceMatch: fs.String("trace-match", "", "flow-trace exactly these comma-separated flow ids (needs -series)"),
+		traceEvery: fs.Int("trace-every", 0, "with -trace-flows, admit only a 1-in-K hash sample of flow ids"),
+		tracePkts:  fs.Int("trace-packets", 0, "journey-stamp every Kth data packet of a traced flow (default 16, 1 = all)"),
 	}
 }
 
@@ -128,13 +140,42 @@ func (f obsFlagSet) resolve() (obsOpts, error) {
 			return obsOpts{}, fmt.Errorf("-watchdog: %w", err)
 		}
 	}
-	o := obsOpts{dir: *f.seriesDir, hist: *f.hist, maxBytes: maxBytes, maxEvents: *f.wdEvents}
+	match, err := parseFlowList(*f.traceMatch)
+	if err != nil {
+		return obsOpts{}, fmt.Errorf("-trace-match: %w", err)
+	}
+	o := obsOpts{
+		dir: *f.seriesDir, hist: *f.hist,
+		maxBytes: maxBytes, maxEvents: *f.wdEvents,
+		traceFlows: *f.traceFlows, traceMatch: match,
+		traceEvery: *f.traceEvery, tracePackets: *f.tracePkts,
+	}
+	if o.tracing() && o.dir == "" {
+		return obsOpts{}, fmt.Errorf("flow tracing needs -series DIR: trace spans are only delivered through the timeline artifact")
+	}
 	if o.dir != "" {
 		if err := os.MkdirAll(o.dir, 0o755); err != nil {
 			return obsOpts{}, err
 		}
 	}
 	return o, nil
+}
+
+// parseFlowList parses a comma-separated flow-id list ("" = none).
+func parseFlowList(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad flow id %q", p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
 }
 
 // runExperiment executes one experiment and writes its report to w. It
@@ -198,8 +239,13 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if !o.full {
 			interval = 2 * sim.Millisecond
 		}
-		pp := exp.Fig8(true, interval)
-		sw := exp.Fig8(false, interval)
+		var ppRec, swRec *obs.Recorder
+		if sink != nil {
+			ppRec = sink.recorder("pp")
+			swRec = sink.recorder("swift")
+		}
+		pp := exp.Fig8Obs(true, interval, ppRec)
+		sw := exp.Fig8Obs(false, interval, swRec)
 		tb := stats.NewTable("scheme", "dominance of newest priority")
 		tb.AddRow(pp.Scheme, pp.DominanceFrac)
 		tb.AddRow(sw.Scheme, sw.DominanceFrac)
@@ -494,7 +540,8 @@ func printCoflow(w io.Writer, rows []exp.CoflowSpeedups) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-print-series] [obs flags] [-cpuprofile f] [-memprofile f]
        prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full] [obs flags]
-       prioplus-sim report [-width N] file.jsonl...
+       prioplus-sim report [-width N] file.jsonl|dir...
+       prioplus-sim trace [-flows a,b] [-journeys K] [-width N] file.jsonl|dir...
 
 obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -series DIR       write one timeline artifact (JSONL) per run into DIR
@@ -502,6 +549,12 @@ obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -watchdog BYTES   in-flight-bytes ceiling; tripping stops the run and
                     dumps the flight recorder (e.g. -watchdog 256m)
   -watchdog-events N  event-heap ceiling for the watchdog
+  -trace-flows N    flow-trace up to N flows: per-packet hop journeys and
+                    the CC decision audit, delivered via -series artifacts
+                    and rendered by the trace subcommand
+  -trace-match IDS  flow-trace exactly these comma-separated flow ids
+  -trace-every K    with -trace-flows, admit a deterministic 1-in-K sample
+  -trace-packets K  journey-stamp every Kth data packet (default 16)
 
 experiments:
   fig2     switch-chip buffer/bandwidth ratios
@@ -525,5 +578,6 @@ experiments:
   ext-ecn      Appendix B extension: per-priority ECN marking
   ext-weighted §7 extension: weighted virtual priority
   all          every experiment above, fanned across a worker pool
-  report       render -series artifacts as a text report`)
+  report       render -series artifacts as a text report
+  trace        render flow-trace artifacts as causal per-flow timelines`)
 }

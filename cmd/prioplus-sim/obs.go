@@ -28,10 +28,20 @@ type obsOpts struct {
 	hist      bool   // -hist: streaming histograms plus printed summaries
 	maxBytes  int64  // -watchdog: in-flight bytes ceiling (0 = off)
 	maxEvents int64  // -watchdog-events: event-heap ceiling (0 = off)
+
+	traceFlows   int     // -trace-flows: flow-trace cap (0 = off)
+	traceMatch   []int64 // -trace-match: explicit flow ids to trace
+	traceEvery   int     // -trace-every: 1-in-K hash sample of flow ids
+	tracePackets int     // -trace-packets: journey stride (0 = default 16)
 }
 
 func (o obsOpts) enabled() bool {
-	return o.dir != "" || o.hist || o.maxBytes > 0 || o.maxEvents > 0
+	return o.dir != "" || o.hist || o.maxBytes > 0 || o.maxEvents > 0 || o.tracing()
+}
+
+// tracing reports whether flow tracing was requested.
+func (o obsOpts) tracing() bool {
+	return o.traceFlows > 0 || len(o.traceMatch) > 0
 }
 
 // obsSink hands out per-run recorders during one experiment invocation
@@ -79,6 +89,17 @@ func (s *obsSink) recorder(tag string) *obs.Recorder {
 			MaxHeapEvents:    s.opts.maxEvents,
 		}
 		rec.Flight = obs.NewFlightRecorder(flightSize)
+	}
+	if s.opts.tracing() {
+		n := s.opts.traceFlows
+		if n < len(s.opts.traceMatch) {
+			n = len(s.opts.traceMatch) // -trace-match alone sizes its own cap
+		}
+		ft := obs.NewFlowTracer(n)
+		ft.Match = s.opts.traceMatch
+		ft.Every = s.opts.traceEvery
+		ft.PacketEvery = s.opts.tracePackets
+		rec.FlowTrace = ft
 	}
 	s.runs = append(s.runs, obsRun{tag: tag, rec: rec})
 	return rec

@@ -20,11 +20,16 @@ func runReport(args []string) int {
 	width := fs.Int("width", 60, "sparkline width in columns")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: prioplus-sim report [-width N] file.jsonl...")
+		fmt.Fprintln(os.Stderr, "usage: prioplus-sim report [-width N] file.jsonl|dir...")
 		return 2
 	}
+	paths, err := expandArtifactArgs(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
 	code := 0
-	for i, path := range fs.Args() {
+	for i, path := range paths {
 		if i > 0 {
 			fmt.Println()
 		}

@@ -1,0 +1,355 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"prioplus/internal/obs"
+)
+
+// runTrace is the `prioplus-sim trace` subcommand: it renders the flow
+// traces recorded by -trace-flows/-trace-match back into causal per-flow
+// timelines — sampled packet journeys with hop-by-hop delay accrual, and
+// the CC decision audit (yield/probe/resume instants with the sensed
+// delays that caused them). With two or more flows selected via -flows it
+// also prints an interleaved decision view, the lens for the paper's
+// Fig 8 yield/reclaim story. Returns the process exit code.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	flowsArg := fs.String("flows", "", "comma-separated flow ids to render (default: every traced flow); 2+ ids add an interleaved decision view")
+	journeys := fs.Int("journeys", 3, "packet journeys to render per flow (-1 = all, 0 = none)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: prioplus-sim trace [-flows a,b] [-journeys K] file.jsonl|dir...")
+		return 2
+	}
+	want, err := parseFlowList(*flowsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace: -flows:", err)
+		return 2
+	}
+	paths, err := expandArtifactArgs(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		return 1
+	}
+	code := 0
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := traceFile(os.Stdout, path, want, *journeys); err != nil {
+			fmt.Fprintf(os.Stderr, "trace %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// expandArtifactArgs resolves report/trace path arguments: a directory
+// expands to its *.jsonl artifacts (sorted), a plain file passes through.
+// Missing paths and directories with no artifacts are errors, so the
+// subcommands fail loudly instead of rendering an empty report.
+func expandArtifactArgs(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no artifacts (*.jsonl) — record some with -series %s first", arg, arg)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no artifact files given")
+	}
+	return out, nil
+}
+
+func traceFile(w io.Writer, path string, want []int64, journeys int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := obs.ReadArtifact(f)
+	if err != nil {
+		return err
+	}
+	if len(a.Flows) == 0 {
+		return fmt.Errorf("no flow traces in artifact (run %q) — record with -trace-flows or -trace-match", a.Run)
+	}
+	flows, err := selectFlows(a.Flows, want)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== %s (run %q): %d flow(s) traced\n", path, a.Run, len(a.Flows))
+	for i := range flows {
+		traceFlow(w, &flows[i], journeys)
+	}
+	if len(flows) > 1 && len(want) > 1 {
+		traceInterleaved(w, flows)
+	}
+	return nil
+}
+
+// selectFlows filters the artifact's flows to the requested ids, keeping
+// request order; with no request every traced flow renders in artifact
+// (admission) order.
+func selectFlows(all []obs.ArtifactFlow, want []int64) ([]obs.ArtifactFlow, error) {
+	if len(want) == 0 {
+		return all, nil
+	}
+	out := make([]obs.ArtifactFlow, 0, len(want))
+	for _, id := range want {
+		found := false
+		for i := range all {
+			if all[i].ID == id {
+				out = append(out, all[i])
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("flow %d is not traced in this artifact (traced: %s)", id, flowIDs(all))
+		}
+	}
+	return out, nil
+}
+
+func flowIDs(flows []obs.ArtifactFlow) string {
+	var b strings.Builder
+	for i := range flows {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%d", flows[i].ID)
+	}
+	return b.String()
+}
+
+// traceFlow renders one flow: a summary (span volume, lifetime, stopped
+// intervals), up to `journeys` sampled packet journeys with per-hop delay
+// accrual, then the chronological decision timeline.
+func traceFlow(w io.Writer, fl *obs.ArtifactFlow, journeys int) {
+	spans := append([]obs.ArtifactSpan(nil), fl.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].TUS < spans[j].TUS })
+
+	fmt.Fprintf(w, "\nflow %d: %d spans", fl.ID, len(fl.Spans))
+	if fl.Dropped > 0 {
+		fmt.Fprintf(w, " (%d overwritten: oldest spans lost to the ring bound)", fl.Dropped)
+	}
+	if len(spans) > 0 {
+		fmt.Fprintf(w, ", t=%.1fus..%.1fus", spans[0].TUS, spans[len(spans)-1].TUS)
+	}
+	fmt.Fprintln(w)
+	if stops, stopped := stoppedTime(spans); stops > 0 {
+		fmt.Fprintf(w, "  yielded %d time(s), %.1fus total outside the channel\n", stops, stopped)
+	}
+
+	renderJourneys(w, spans, journeys)
+
+	first := true
+	for _, sp := range spans {
+		switch sp.Kind {
+		case "hop", "deliver", "acked", "probe-acked":
+			continue // journey volume, rendered above
+		}
+		if first {
+			fmt.Fprintf(w, "  decisions:\n")
+			first = false
+		}
+		fmt.Fprintf(w, "    t=%10.1fus  %-12s %s\n", sp.TUS, sp.Kind, describeSpan(sp))
+	}
+	if first {
+		fmt.Fprintf(w, "  decisions: none recorded\n")
+	}
+}
+
+// stoppedTime pairs yield spans with the following resume to measure the
+// flow's total time outside its delay channel (the paper's Fig 8 yield →
+// reclaim gap).
+func stoppedTime(spans []obs.ArtifactSpan) (stops int, totalUS float64) {
+	yieldAt := -1.0
+	for _, sp := range spans {
+		switch sp.Kind {
+		case "yield":
+			if yieldAt < 0 {
+				yieldAt = sp.TUS
+			}
+		case "resume":
+			if yieldAt >= 0 {
+				stops++
+				totalUS += sp.TUS - yieldAt
+				yieldAt = -1
+			}
+		}
+	}
+	if yieldAt >= 0 {
+		stops++ // yielded and never resumed before the run ended
+	}
+	return stops, totalUS
+}
+
+// renderJourneys groups hop/deliver/acked spans by sequence number and
+// renders the first K complete journeys: each hop's queue wait accrues
+// into the one-way delay the receiver observed, making "where did the
+// delay come from" readable per packet.
+func renderJourneys(w io.Writer, spans []obs.ArtifactSpan, limit int) {
+	if limit == 0 {
+		return
+	}
+	bySeq := map[int64][]obs.ArtifactSpan{}
+	var order []int64
+	for _, sp := range spans {
+		switch sp.Kind {
+		case "hop", "deliver", "acked":
+			if _, ok := bySeq[sp.Seq]; !ok {
+				order = append(order, sp.Seq)
+			}
+			bySeq[sp.Seq] = append(bySeq[sp.Seq], sp)
+		}
+	}
+	shown := 0
+	for _, seq := range order {
+		js := bySeq[seq]
+		complete := false
+		for _, sp := range js {
+			if sp.Kind == "acked" {
+				complete = true
+			}
+		}
+		if !complete {
+			continue
+		}
+		if limit > 0 && shown >= limit {
+			break
+		}
+		shown++
+		fmt.Fprintf(w, "  journey seq=%d:\n", seq)
+		accrued := 0.0
+		for _, sp := range js {
+			switch sp.Kind {
+			case "hop":
+				accrued += sp.DelayUS
+				fmt.Fprintf(w, "    t=%10.1fus  hop %-12s qwait=%7.2fus qlen=%7.0fB  accrued=%7.2fus\n",
+					sp.TUS, sp.Dev, sp.DelayUS, sp.A, accrued)
+			case "deliver":
+				fmt.Fprintf(w, "    t=%10.1fus  delivered        one-way=%.2fus (queueing %.2fus of it)\n",
+					sp.TUS, sp.DelayUS, accrued)
+			case "acked":
+				fmt.Fprintf(w, "    t=%10.1fus  acked            rtt=%.2fus cwnd=%.0fB inflight=%.0fB\n",
+					sp.TUS, sp.DelayUS, sp.A, sp.B)
+			}
+		}
+	}
+	if shown > 0 && limit > 0 && len(order) > shown {
+		fmt.Fprintf(w, "  (%d more sampled journeys; -journeys -1 shows all)\n", countComplete(bySeq)-shown)
+	}
+}
+
+func countComplete(bySeq map[int64][]obs.ArtifactSpan) int {
+	n := 0
+	for _, js := range bySeq {
+		for _, sp := range js {
+			if sp.Kind == "acked" {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// traceInterleaved merges the selected flows' decision timelines into one
+// chronological view — with a low- and a high-priority flow selected this
+// reproduces the paper's Fig 8 story: the high flow's start and linear
+// start, the low flow's sensed-delay climb and yield, then the reclaim
+// probe/resume after the high flow finishes.
+func traceInterleaved(w io.Writer, flows []obs.ArtifactFlow) {
+	type ev struct {
+		flow int64
+		sp   obs.ArtifactSpan
+	}
+	var evs []ev
+	for i := range flows {
+		for _, sp := range flows[i].Spans {
+			if k, ok := obs.SpanKindByName(sp.Kind); ok && k.Decision() || sp.Kind == "done" {
+				evs = append(evs, ev{flows[i].ID, sp})
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].sp.TUS < evs[j].sp.TUS })
+	fmt.Fprintf(w, "\ninterleaved decisions (flows %s):\n", flowIDs(flows))
+	for _, e := range evs {
+		fmt.Fprintf(w, "  t=%10.1fus  flow %-4d %-12s %s\n", e.sp.TUS, e.flow, e.sp.Kind, describeSpan(e.sp))
+	}
+}
+
+// describeSpan renders a span's kind-specific payload (the A/B field
+// meanings documented on the obs.SpanKind constants).
+func describeSpan(sp obs.ArtifactSpan) string {
+	switch sp.Kind {
+	case "start":
+		if sp.A != 0 || sp.B != 0 {
+			return fmt.Sprintf("channel [%.1fus, %.1fus]", sp.A, sp.B)
+		}
+		return ""
+	case "yield":
+		return fmt.Sprintf("sensed=%.1fus over limit, consec=%.0f, #flow=%.2f -> stop sending", sp.DelayUS, sp.B, sp.A)
+	case "probe":
+		return fmt.Sprintf("sensed=%.1fus -> wait %.1fus before probing", sp.DelayUS, sp.A)
+	case "probe-ans":
+		outcome := "re-probe (still above target)"
+		switch sp.A {
+		case 1:
+			outcome = "resume at linear-start window"
+		case 2:
+			outcome = "resume with one packet (near target)"
+		}
+		return fmt.Sprintf("probed delay=%.1fus -> %s", sp.DelayUS, outcome)
+	case "resume":
+		return fmt.Sprintf("probed delay=%.1fus -> back in channel, cwnd=%.2fpkts", sp.DelayUS, sp.A)
+	case "card-est":
+		return fmt.Sprintf("sensed=%.1fus -> #flow=%.2f, ai-step=%.3f", sp.DelayUS, sp.A, sp.B)
+	case "card-decay":
+		return fmt.Sprintf("idle countdown halved #flow to %.2f (countdown=%.0f)", sp.A, sp.B)
+	case "linear-start":
+		return fmt.Sprintf("sensed=%.1fus, cwnd=%.2fpkts (W_LS ramp)", sp.DelayUS, sp.A)
+	case "adaptive-inc":
+		return fmt.Sprintf("sensed=%.1fus below target twice -> ai-step=%.3f (+%.3f)", sp.DelayUS, sp.A, sp.B)
+	case "ai-restore":
+		return fmt.Sprintf("sensed=%.1fus, dual-RTT over -> ai-step=%.3f", sp.DelayUS, sp.A)
+	case "cc-cut":
+		return fmt.Sprintf("delay=%.1fus -> cwnd/rate %.4g (factor %.4g)", sp.DelayUS, sp.A, sp.B)
+	case "cc-grow":
+		return fmt.Sprintf("delay=%.1fus -> cwnd/rate %.4g (aux %.4g)", sp.DelayUS, sp.A, sp.B)
+	case "retx":
+		return fmt.Sprintf("seq=%d, %.0f bytes resent", sp.Seq, sp.A)
+	case "rto":
+		return fmt.Sprintf("timer fired with %.0fB in flight", sp.A)
+	case "drop":
+		return fmt.Sprintf("seq=%d dropped at %s (%.0fB)", sp.Seq, sp.Dev, sp.A)
+	case "mark":
+		return fmt.Sprintf("seq=%d ECN-marked at %s (qlen=%.0fB)", sp.Seq, sp.Dev, sp.A)
+	case "done":
+		return fmt.Sprintf("flow complete: %.0fB, %.0f retransmits", sp.A, sp.B)
+	}
+	return ""
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -57,6 +58,33 @@ type Algorithm interface {
 	// WantsECT reports whether data packets should be ECN-capable.
 	WantsECT() bool
 	Name() string
+}
+
+// DecisionLogger is the optional audit seam a Driver may implement: when it
+// does (the transport's Sender, for flows sampled by an obs.FlowTracer),
+// controllers report their structural decisions — multiplicative decreases,
+// yields, probe schedules, resumes — as spans on the flow's causal
+// timeline. delay is the sensed delay that triggered the decision; a and b
+// are kind-specific (see the obs.SpanKind constants).
+type DecisionLogger interface {
+	LogDecision(kind obs.SpanKind, delay sim.Time, a, b float64)
+}
+
+// DecisionLoggerOf extracts the decision-audit seam from a driver, nil when
+// the driver has none or the flow is not sampled. Drivers that can say
+// per-flow whether auditing is on expose DecisionLog() (the transport
+// returns nil for unsampled flows, so their controllers skip the audit with
+// one nil check at Start); a driver that is itself a DecisionLogger (tests)
+// is used directly. Controllers call this once in Start and nil-check the
+// result per decision.
+func DecisionLoggerOf(drv Driver) DecisionLogger {
+	if p, ok := drv.(interface{ DecisionLog() DecisionLogger }); ok {
+		return p.DecisionLog()
+	}
+	if dl, ok := drv.(DecisionLogger); ok {
+		return dl
+	}
+	return nil
 }
 
 // DelayBased is the subset of delay-based algorithms PrioPlus can wrap: it

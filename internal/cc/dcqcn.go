@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -53,8 +54,9 @@ func DefaultDCQCNConfig(lineRate netsim.Rate) DCQCNConfig {
 // should run paced. Timers are emulated from ACK arrival times, which is
 // accurate under per-packet ACKs.
 type DCQCN struct {
-	cfg DCQCNConfig
-	drv Driver
+	cfg  DCQCNConfig
+	drv  Driver
+	dlog DecisionLogger
 
 	targetRate  float64 // Rt, bytes/s
 	currentRate float64 // Rc, bytes/s
@@ -80,6 +82,7 @@ func (d *DCQCN) WantsECT() bool { return true }
 // Start implements Algorithm: DCQCN starts at line rate.
 func (d *DCQCN) Start(drv Driver) {
 	d.drv = drv
+	d.dlog = DecisionLoggerOf(drv)
 	d.currentRate = d.cfg.LineRate.BytesPerSec()
 	d.targetRate = d.currentRate
 	d.srtt = drv.BaseRTT()
@@ -99,6 +102,9 @@ func (d *DCQCN) OnAck(fb Feedback) {
 			d.currentRate *= 1 - d.alpha/2
 			d.sinceMark = 0
 			d.lastCut = now
+			if d.dlog != nil {
+				d.dlog.LogDecision(obs.SpanDecCut, fb.Delay, d.currentRate, d.alpha)
+			}
 		}
 	}
 	if now-d.lastAlphaUpdate >= d.cfg.AlphaTimer {
@@ -123,6 +129,9 @@ func (d *DCQCN) OnAck(fb Feedback) {
 			d.targetRate += d.cfg.RateAI.BytesPerSec()
 		default:
 			d.targetRate += d.cfg.RateHAI.BytesPerSec()
+			if d.dlog != nil && d.sinceMark == d.cfg.HyperThreshold+1 {
+				d.dlog.LogDecision(obs.SpanDecGrow, fb.Delay, d.targetRate, float64(d.sinceMark))
+			}
 		}
 		line := d.cfg.LineRate.BytesPerSec()
 		d.targetRate = math.Min(d.targetRate, line)

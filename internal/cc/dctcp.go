@@ -3,6 +3,7 @@ package cc
 import (
 	"math"
 
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -34,6 +35,7 @@ func DefaultDCTCPConfig(bdpPkts float64) DCTCPConfig {
 type DCTCP struct {
 	cfg  DCTCPConfig
 	drv  Driver
+	dlog DecisionLogger
 	cwnd float64
 
 	alpha       float64
@@ -64,6 +66,7 @@ func (d *DCTCP) WantsECT() bool { return true }
 // prioritization, not ramp-up).
 func (d *DCTCP) Start(drv Driver) {
 	d.drv = drv
+	d.dlog = DecisionLoggerOf(drv)
 	if d.cwnd == 0 {
 		bdp := drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
 		d.cwnd = d.clamp(bdp)
@@ -121,6 +124,9 @@ func (d *DCTCP) OnAck(fb Feedback) {
 		d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*f
 		if d.ceSeen {
 			d.cwnd *= 1 - d.penalty(fb.Now)
+			if d.dlog != nil {
+				d.dlog.LogDecision(obs.SpanDecCut, fb.Delay, d.clamp(d.cwnd), d.alpha)
+			}
 		}
 		d.ackedBytes, d.markedBytes, d.ceSeen = 0, 0, false
 		d.windowEnd = d.drv.SndNxt()

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
 )
 
 // HPCCConfig parameterizes HPCC [Li et al., SIGCOMM'19], the INT-based
@@ -33,6 +34,7 @@ func DefaultHPCCConfig(bdpPkts float64) HPCCConfig {
 type HPCC struct {
 	cfg  HPCCConfig
 	drv  Driver
+	dlog DecisionLogger
 	cwnd float64 // current window, packets
 	wc   float64 // reference window, packets
 
@@ -53,6 +55,7 @@ func (h *HPCC) WantsECT() bool { return true }
 // Start implements Algorithm: HPCC starts at line rate (one BDP).
 func (h *HPCC) Start(drv Driver) {
 	h.drv = drv
+	h.dlog = DecisionLoggerOf(drv)
 	bdp := drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
 	if h.cwnd == 0 {
 		h.cwnd = h.clamp(bdp)
@@ -104,6 +107,9 @@ func (h *HPCC) OnAck(fb Feedback) {
 			h.wc = h.cwnd
 			h.incStage = 0
 			h.lastWcSeq = h.drv.SndNxt()
+			if h.dlog != nil && u >= h.cfg.Eta {
+				h.dlog.LogDecision(obs.SpanDecCut, fb.Delay, h.cwnd, u)
+			}
 		}
 	} else {
 		h.cwnd = h.clamp(h.wc + h.cfg.WAI)

@@ -3,6 +3,7 @@ package cc
 import (
 	"math"
 
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -31,10 +32,12 @@ func DefaultLEDBATConfig(baseRTT sim.Time, bdpPkts float64) LEDBATConfig {
 
 // LEDBAT implements the LEDBAT controller.
 type LEDBAT struct {
-	cfg  LEDBATConfig
-	drv  Driver
-	cwnd float64
-	ai   float64 // gain multiplier PrioPlus can adjust
+	cfg   LEDBATConfig
+	drv   Driver
+	dlog  DecisionLogger
+	cwnd  float64
+	ai    float64 // gain multiplier PrioPlus can adjust
+	above bool    // last sample was over target (audit edge detector)
 }
 
 // NewLEDBAT returns a LEDBAT instance.
@@ -49,6 +52,7 @@ func (l *LEDBAT) WantsECT() bool { return false }
 // Start implements Algorithm.
 func (l *LEDBAT) Start(drv Driver) {
 	l.drv = drv
+	l.dlog = DecisionLoggerOf(drv)
 	if l.cwnd == 0 {
 		l.cwnd = l.clamp(2)
 	}
@@ -73,6 +77,17 @@ func (l *LEDBAT) OnAck(fb Feedback) {
 	ackedPkts := float64(fb.AckedBytes) / float64(l.drv.MTU())
 	l.cwnd += l.ai * off * ackedPkts / math.Max(l.cwnd, l.cfg.MinCwnd)
 	l.cwnd = l.clamp(l.cwnd)
+	// Audit the proportional controller's sign edges only: the per-ACK
+	// window drift is reconstructable from the acked spans, the moment it
+	// turned into backoff is the decision worth a timeline entry.
+	if off < 0 && !l.above {
+		l.above = true
+		if l.dlog != nil {
+			l.dlog.LogDecision(obs.SpanDecCut, fb.Delay, l.cwnd, off)
+		}
+	} else if off >= 0 {
+		l.above = false
+	}
 }
 
 // OnProbeAck implements Algorithm.

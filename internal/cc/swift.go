@@ -3,6 +3,7 @@ package cc
 import (
 	"math"
 
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -59,6 +60,7 @@ func DefaultSwiftConfig(baseRTT sim.Time, bdpPkts float64) SwiftConfig {
 type Swift struct {
 	cfg  SwiftConfig
 	drv  Driver
+	dlog DecisionLogger
 	cwnd float64 // packets
 
 	ai           float64
@@ -94,6 +96,7 @@ func (s *Swift) WantsECT() bool { return false }
 // (one BDP window), the common RDMA-CC choice the paper's §3.3 discusses.
 func (s *Swift) Start(drv Driver) {
 	s.drv = drv
+	s.dlog = DecisionLoggerOf(drv)
 	if s.cwnd == 0 {
 		bdp := drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
 		s.cwnd = s.clamp(bdp)
@@ -144,6 +147,9 @@ func (s *Swift) OnAck(fb Feedback) {
 		}
 		s.cwnd *= 1 - md
 		s.lastDecrease = fb.Now
+		if s.dlog != nil {
+			s.dlog.LogDecision(obs.SpanDecCut, fb.Delay, s.clamp(s.cwnd), md)
+		}
 	}
 	s.cwnd = s.clamp(s.cwnd)
 }

@@ -3,6 +3,7 @@ package cc
 import (
 	"math"
 
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -47,8 +48,9 @@ func DefaultTIMELYConfig(baseRTT sim.Time, lineBps float64) TIMELYConfig {
 
 // TIMELY implements the TIMELY controller; run flows paced.
 type TIMELY struct {
-	cfg TIMELYConfig
-	drv Driver
+	cfg  TIMELYConfig
+	drv  Driver
+	dlog DecisionLogger
 
 	rate     float64 // bytes/s
 	prevRTT  sim.Time
@@ -70,6 +72,7 @@ func (t *TIMELY) WantsECT() bool { return false }
 // deployment.
 func (t *TIMELY) Start(drv Driver) {
 	t.drv = drv
+	t.dlog = DecisionLoggerOf(drv)
 	t.rate = t.cfg.MaxRate
 	t.srtt = drv.BaseRTT()
 }
@@ -99,16 +102,25 @@ func (t *TIMELY) OnAck(fb Feedback) {
 		t.negCount = 0
 		// Decrease proportional to how far above THigh the RTT sits.
 		t.rate *= 1 - t.cfg.Beta*(1-float64(t.cfg.THigh)/float64(rtt))
+		if t.dlog != nil {
+			t.dlog.LogDecision(obs.SpanDecCut, rtt, t.rate, gradient)
+		}
 	case gradient <= 0:
 		t.negCount++
 		n := 1.0
 		if t.negCount >= t.cfg.HAIThreshold {
 			n = 5
+			if t.dlog != nil && t.negCount == t.cfg.HAIThreshold {
+				t.dlog.LogDecision(obs.SpanDecGrow, rtt, t.rate, n)
+			}
 		}
 		t.rate += n * t.cfg.AddStep
 	default:
 		t.negCount = 0
 		t.rate *= 1 - t.cfg.Beta*gradient
+		if t.dlog != nil {
+			t.dlog.LogDecision(obs.SpanDecCut, rtt, t.rate, gradient)
+		}
 	}
 	t.rate = math.Min(math.Max(t.rate, t.cfg.MinRate), t.cfg.MaxRate)
 }

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"prioplus/internal/cc"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
 
@@ -149,6 +150,7 @@ type PrioPlus struct {
 	cfg   Config
 	inner cc.DelayBased
 	drv   cc.Driver
+	dlog  cc.DecisionLogger
 
 	nflow     float64 // #flow: estimated same-priority flow cardinality
 	countDown int
@@ -211,17 +213,28 @@ func (p *PrioPlus) FlowEstimate() float64 { return p.nflow }
 // transmitting; high priorities begin a linear start immediately (§4.4).
 func (p *PrioPlus) Start(drv cc.Driver) {
 	p.drv = drv
+	p.dlog = cc.DecisionLoggerOf(drv)
 	p.inner.Start(drv)
 	p.bdpPkts = drv.LineRate().BDP(drv.BaseRTT()) / float64(drv.MTU())
 	p.wlsPkts = math.Max(p.cfg.WLSFraction*p.bdpPkts, 1)
 	p.countDown = p.resetCountdown()
+	p.logDec(obs.SpanDecStart, 0, p.cfg.Channel.Target.Micros(), p.cfg.Channel.Limit.Micros())
 	if p.cfg.ProbeFirst {
 		p.stopped = true
 		drv.StopSending()
 		p.Probes++
+		p.logDec(obs.SpanDecProbe, 0, 0, 0)
 		drv.SendProbeAfter(0)
 	} else {
 		p.inner.SetCwndPackets(p.wlsPkts / p.nflow)
+	}
+}
+
+// logDec records one decision on the flow's audit timeline; free (one nil
+// check) for untraced flows.
+func (p *PrioPlus) logDec(kind obs.SpanKind, delay sim.Time, a, b float64) {
+	if p.dlog != nil {
+		p.dlog.LogDecision(kind, delay, a, b)
 	}
 }
 
@@ -246,6 +259,7 @@ func (p *PrioPlus) estimateCardinality(delay sim.Time) {
 	p.nflow = math.Max(p.nflow, est)
 	p.inner.SetAIStep(p.baseAI() / p.nflow)
 	p.countDown = p.resetCountdown()
+	p.logDec(obs.SpanDecCardEst, delay, p.nflow, p.inner.AIStep())
 }
 
 // tickCountdown implements the idle-path countdown (§4.3.1): every RTT the
@@ -260,6 +274,7 @@ func (p *PrioPlus) tickCountdown() {
 	}
 	p.nflow = math.Max(1, p.nflow/2)
 	p.inner.SetAIStep(p.baseAI() / p.nflow)
+	p.logDec(obs.SpanDecCardDecay, 0, p.nflow, float64(p.countDown))
 }
 
 // OnAck implements cc.Algorithm (Algorithm 1, procedure NewAck).
@@ -277,6 +292,7 @@ func (p *PrioPlus) OnAck(fb cc.Feedback) {
 			// End of a dual-RTT adaptive-increase period: restore the AI
 			// step (lines 5-6).
 			p.inner.SetAIStep(p.baseAI() / p.nflow)
+			p.logDec(obs.SpanDecAIRestore, fb.Delay, p.inner.AIStep(), 0)
 		}
 	}
 	if fb.Delay >= p.cfg.Channel.Limit {
@@ -290,6 +306,7 @@ func (p *PrioPlus) OnAck(fb cc.Feedback) {
 		p.estimateCardinality(fb.Delay)
 		p.stopped = true
 		p.Yields++
+		p.logDec(obs.SpanDecYield, fb.Delay, p.nflow, float64(p.consec))
 		p.drv.StopSending()
 		p.scheduleProbe(fb.Delay)
 		return
@@ -300,6 +317,7 @@ func (p *PrioPlus) OnAck(fb cc.Feedback) {
 			// Empty path: linear start (lines 13-16).
 			p.inner.SetCwndPackets(p.inner.CwndPackets() + p.wlsPkts/p.nflow)
 			p.LinearStart++
+			p.logDec(obs.SpanDecLinearStart, fb.Delay, p.inner.CwndPackets(), 0)
 			p.tickCountdown()
 		} else if p.dualRttPass || p.cfg.AdaptiveEveryRTT {
 			// Only lower-priority flows present: raise the AI step so the
@@ -311,6 +329,7 @@ func (p *PrioPlus) OnAck(fb cc.Feedback) {
 			if step > 0 {
 				p.inner.SetAIStep(p.inner.AIStep() + step)
 				p.AdaptiveInc++
+				p.logDec(obs.SpanDecAdaptiveInc, fb.Delay, p.inner.AIStep(), step)
 			}
 		}
 	}
@@ -323,6 +342,7 @@ func (p *PrioPlus) OnAck(fb cc.Feedback) {
 func (p *PrioPlus) scheduleProbe(delay sim.Time) {
 	if p.cfg.NaiveProbe {
 		p.Probes++
+		p.logDec(obs.SpanDecProbe, delay, p.drv.BaseRTT().Micros(), 0)
 		p.drv.SendProbeAfter(p.drv.BaseRTT())
 		return
 	}
@@ -334,8 +354,16 @@ func (p *PrioPlus) scheduleProbe(delay sim.Time) {
 		wait += sim.Time(p.drv.Rand().Int63n(int64(p.drv.BaseRTT()) + 1))
 	}
 	p.Probes++
+	p.logDec(obs.SpanDecProbe, delay, wait.Micros(), 0)
 	p.drv.SendProbeAfter(wait)
 }
+
+// Probe-answer outcome codes carried in the audit span's A field.
+const (
+	probeOutcomeReprobe     = 0 // still over D_limit: schedule another probe
+	probeOutcomeLinearStart = 1 // path empty: resume at the linear-start window
+	probeOutcomeOnePacket   = 2 // path busy but in channel: resume with one packet
+)
 
 // OnProbeAck implements cc.Algorithm (Algorithm 1, function NewProbeAck).
 func (p *PrioPlus) OnProbeAck(fb cc.Feedback) {
@@ -347,20 +375,24 @@ func (p *PrioPlus) OnProbeAck(fb cc.Feedback) {
 	}
 	p.drv.ResetRTO()
 	if fb.Delay >= p.cfg.Channel.Limit {
+		p.logDec(obs.SpanDecProbeAns, fb.Delay, probeOutcomeReprobe, 0)
 		p.scheduleProbe(fb.Delay)
 		return
 	}
 	if p.atBase(fb.Delay) {
 		// Empty path: restart with the linear-start window (lines 28-31).
+		p.logDec(obs.SpanDecProbeAns, fb.Delay, probeOutcomeLinearStart, 0)
 		p.inner.SetCwndPackets(p.wlsPkts / p.nflow)
 		p.LinearStart++
 		p.tickCountdown()
 	} else {
 		// Between base RTT and D_limit: resume conservatively with one
 		// packet (line 32, §4.4).
+		p.logDec(obs.SpanDecProbeAns, fb.Delay, probeOutcomeOnePacket, 0)
 		p.inner.SetCwndPackets(1)
 	}
 	p.stopped = false
+	p.logDec(obs.SpanDecResume, fb.Delay, p.inner.CwndPackets(), 0)
 	p.drv.ResumeSending()
 	p.rttEndSeq = p.drv.SndNxt()
 	p.dualRttPass = false

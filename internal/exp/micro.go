@@ -263,9 +263,25 @@ type Fig8Result struct {
 // flows each, starting low-to-high at `interval` and ending in the same
 // order (modeled by finite sizes). 10 Gb/s links as in the testbed.
 func Fig8(usePrioPlus bool, interval sim.Time) Fig8Result {
+	return Fig8Obs(usePrioPlus, interval, nil)
+}
+
+// Fig8Obs is Fig8 with an optional observability recorder attached. With a
+// FlowTracer enabled this is the canonical yield/reclaim tracing scenario:
+// flow IDs are assigned in start order, so flows 1-2 are the lowest
+// priority (channel 2, start t=0) and flows 7-8 the highest (channel 5,
+// start 3*interval); `prioplus-sim trace -flows 1,7` renders the paper's
+// Fig 8 interleaving. Instrumentation does not change figure output.
+func Fig8Obs(usePrioPlus bool, interval sim.Time, rec *obs.Recorder) Fig8Result {
 	net, eng := microNet(9, 11, func(cfg *topo.Config) {
 		cfg.HostRate = 10 * netsim.Gbps
 	})
+	if rec != nil {
+		net.Observe(rec)
+		if rec.Series != nil {
+			rec.Series.ReserveUntil(8 * interval)
+		}
+	}
 	recv := 8
 	base := net.Topo.BaseRTT(0, recv)
 	plan := core.DefaultPlan(base)
@@ -297,6 +313,9 @@ func Fig8(usePrioPlus bool, interval sim.Time) Fig8Result {
 	dur := 8 * interval
 	rs := net.SampleRates(recv, func(p *netsim.Packet) int { return p.Src / 2 }, interval/40, dur)
 	eng.RunUntil(dur)
+	if rec != nil {
+		net.CollectMetrics(rec)
+	}
 	// While priorities are starting (phases 1-3), the newest (highest)
 	// should dominate.
 	var dom float64

@@ -32,15 +32,27 @@ const DefaultWatchdogInterval = 10 * sim.Microsecond
 // no sampler hook.
 func (n *Net) Observe(rec *obs.Recorder) {
 	tracer := rec.Tracer()
+	// Switches get the flow tracer chained in (drop/mark events of sampled
+	// flows become journey spans); ports and NICs keep the plain tracer so
+	// the per-packet enqueue/dequeue path never pays the extra hop.
+	if swTracer := rec.SwitchTracer(); swTracer != nil {
+		for _, sw := range n.Topo.Switches {
+			sw.Trace = swTracer
+		}
+	}
 	if tracer != nil {
 		for _, sw := range n.Topo.Switches {
-			sw.Trace = tracer
 			for _, p := range sw.Ports {
 				p.Trace = tracer
 			}
 		}
 		for _, h := range n.Topo.Hosts {
 			h.NIC.Trace = tracer
+		}
+	}
+	if rec.FlowTrace != nil {
+		for _, st := range n.Stacks {
+			st.FlowTrace = rec.FlowTrace
 		}
 	}
 	if rec.Hist != nil {
@@ -55,6 +67,7 @@ func (n *Net) Observe(rec *obs.Recorder) {
 	probes := rec.Metrics.Counter("net/probes_sent")
 	fctSum := rec.Metrics.Counter("net/fct_sum_us")
 	hist := rec.Hist
+	ft := rec.FlowTrace
 	for _, st := range n.Stacks {
 		st.OnFlowDone = func(fs transport.FlowStats) {
 			flows.Add(1)
@@ -64,6 +77,14 @@ func (n *Net) Observe(rec *obs.Recorder) {
 			fctSum.Add(fs.FCT.Micros())
 			if hist != nil {
 				hist.FCT.Observe(int64(fs.FCT / sim.Nanosecond))
+			}
+			if ft != nil {
+				if fl := ft.Log(fs.ID); fl != nil {
+					fl.Add(obs.Span{
+						T: n.Eng.Now(), Kind: obs.SpanDone,
+						A: float64(fs.Size), B: float64(fs.Retransmits),
+					})
+				}
 			}
 			if tracer != nil {
 				tracer.Trace(obs.Event{

@@ -81,11 +81,17 @@ const (
 
 // INTRecord is one hop's in-band network telemetry, stamped at dequeue by
 // switches with INT enabled. HPCC uses it to compute per-link utilization.
+// Flow tracing reuses the same piggyback array for journey stamps on traced
+// packets; those records carry a non-empty Dev (plus the queue wait) and are
+// filtered out before HPCC sees the feedback, so INT-proper semantics are
+// unchanged.
 type INTRecord struct {
 	QLen    int      // egress queue length after this packet left, bytes
 	TxBytes int64    // cumulative bytes transmitted by the egress port
 	TS      sim.Time // dequeue timestamp
 	Rate    Rate     // egress link rate
+	Dev     string   // trace-only: stamping device name ("" for INT proper)
+	QWait   sim.Time // trace-only: time spent in the egress queue
 }
 
 // Packet is a simulated packet. One Packet object travels hop by hop;
@@ -110,8 +116,18 @@ type Packet struct {
 	SentAt  sim.Time
 	ECT     bool // ECN-capable transport
 	CE      bool // congestion experienced mark
+	// Traced marks a packet whose hop journey is being recorded by an
+	// obs.FlowTracer: every egress port appends a trace INTRecord (Dev set)
+	// at dequeue. Set by the transport on a sampled subset of a traced
+	// flow's packets; false everywhere else, costing one branch per hop.
+	Traced  bool
 	Hash    uint32
 	INT     []INTRecord
+
+	// hopEnqAt is the enqueue timestamp at the current hop, consumed at
+	// dequeue to compute the trace records' QWait. Only maintained for
+	// Traced packets.
+	hopEnqAt sim.Time
 
 	// Pool bookkeeping: gen counts recycles (stamped at every Put) and
 	// inPool marks packets currently on a free list, so the simdebug build

@@ -154,6 +154,7 @@ func (p *PacketPool) Ack(data *Packet, ackPrio int, cum int64) *Packet {
 	ack.Wire = AckBytes
 	ack.SentAt = data.SentAt // echo the sender's hardware timestamp
 	ack.CE = data.CE
+	ack.Traced = data.Traced // journey stamps ride the INT records above
 	ack.Hash = flowHash(data.FlowID) ^ 0x9e3779b9
 	if p != nil {
 		p.liveBytes += int64(ack.Wire)
@@ -178,10 +179,20 @@ func (p *PacketPool) Probe(flow int64, src, dst, prio int) *Packet {
 	return pkt
 }
 
-// ProbeAck returns the echo of a probe.
+// ProbeAck returns the echo of a probe. Like Ack, it carries the probe's
+// piggybacked records home: traced probes accumulate journey stamps on the
+// forward path, and PrioPlus reads the probed delay at the sender. On a
+// real pool the slices are swapped (the probe is about to be recycled); on
+// a nil pool they are copied.
 func (p *PacketPool) ProbeAck(probe *Packet, ackPrio int) *Packet {
 	checkLive(probe, "PacketPool.ProbeAck")
 	pkt := p.get()
+	if p != nil {
+		pkt.INT, probe.INT = probe.INT, pkt.INT[:0]
+	} else if len(probe.INT) > 0 {
+		pkt.INT = append(pkt.INT, probe.INT...)
+	}
+	pkt.Traced = probe.Traced
 	pkt.Type = ProbeAck
 	pkt.FlowID = probe.FlowID
 	pkt.Src = probe.Dst

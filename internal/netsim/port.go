@@ -91,6 +91,7 @@ type Port struct {
 	paused    []bool
 	sending   bool
 	startTxFn func() // preallocated; avoids a closure per transmission
+	devName   string // lazily cached Owner.DeviceName() (hosts format it per call)
 
 	// Counters.
 	TxBytes   int64
@@ -136,6 +137,15 @@ func (p *Port) TotalQueuedBytes() int {
 	return total
 }
 
+// name returns the owning device's name, computed once. Owners set their
+// identity before creating ports, so the first call already sees it.
+func (p *Port) name() string {
+	if p.devName == "" {
+		p.devName = p.Owner.DeviceName()
+	}
+	return p.devName
+}
+
 // clampPrio maps a packet priority onto the port's queue range. A host NIC
 // with a single queue accepts packets of any priority.
 func (p *Port) clampPrio(prio int) int {
@@ -154,13 +164,16 @@ func (p *Port) Enqueue(it TxItem) {
 	checkLive(it.Pkt, "Port.Enqueue")
 	q := p.clampPrio(it.Pkt.Prio)
 	p.queues[q].push(it)
+	if it.Pkt.Traced {
+		it.Pkt.hopEnqAt = p.Eng.Now()
+	}
 	if p.queues[q].bytes > p.QueueHWM {
 		p.QueueHWM = p.queues[q].bytes
 	}
 	if p.Trace != nil {
 		p.Trace.Trace(obs.Event{
 			T: p.Eng.Now(), Kind: obs.Enqueue,
-			Dev: p.Owner.DeviceName(), Port: p.Index, Queue: q,
+			Dev: p.name(), Port: p.Index, Queue: q,
 			Flow: it.Pkt.FlowID, Seq: it.Pkt.Seq,
 			Bytes: it.Pkt.Wire, QLen: p.queues[q].bytes,
 		})
@@ -184,7 +197,7 @@ func (p *Port) SetPaused(prio int, on bool) {
 		}
 		p.Trace.Trace(obs.Event{
 			T: p.Eng.Now(), Kind: kind,
-			Dev: p.Owner.DeviceName(), Port: p.Index, Queue: q,
+			Dev: p.name(), Port: p.Index, Queue: q,
 		})
 	}
 	if on {
@@ -235,7 +248,7 @@ func (p *Port) transmit(it TxItem, q int) {
 	if p.Trace != nil {
 		p.Trace.Trace(obs.Event{
 			T: p.Eng.Now(), Kind: obs.Dequeue,
-			Dev: p.Owner.DeviceName(), Port: p.Index, Queue: q,
+			Dev: p.name(), Port: p.Index, Queue: q,
 			Flow: pkt.FlowID, Seq: pkt.Seq,
 			Bytes: pkt.Wire, QLen: p.queues[q].bytes,
 		})
@@ -249,6 +262,20 @@ func (p *Port) transmit(it TxItem, q int) {
 			TxBytes: p.TxBytes,
 			TS:      p.Eng.Now(),
 			Rate:    p.Rate,
+		})
+	}
+	if pkt.Traced && (pkt.Type == Data || pkt.Type == Probe) {
+		// Journey stamp for flow tracing, separate from INT proper: Dev is
+		// set, so the transport can split trace records out of HPCC's
+		// feedback. Appended on the forward path only; the pooled Ack /
+		// ProbeAck constructors carry the array back to the sender.
+		pkt.INT = append(pkt.INT, INTRecord{
+			QLen:    p.queues[q].bytes,
+			TxBytes: p.TxBytes,
+			TS:      p.Eng.Now(),
+			Rate:    p.Rate,
+			Dev:     p.name(),
+			QWait:   p.Eng.Now() - pkt.hopEnqAt,
 		})
 	}
 	prop := p.PropDelay

@@ -21,9 +21,12 @@ import (
 //	{"type":"sample","i":0,"t_us":...,"v":[...]}          // one per tick
 //	{"type":"hist","name":...,"unit":...,"count":...,...}  // one per histogram
 //	{"type":"metric","name":...,"v":...}                   // one per metric
+//	{"type":"flow","flow":...,"spans":N,"dropped":D}       // one per traced flow
+//	{"type":"span","flow":...,"t_us":...,"kind":...,...}   // one per span
 //
 // The meta line declares the series column order; every sample line's "v"
-// array aligns with it.
+// array aligns with it. Span lines follow their flow line, in recording
+// order (not globally time-sorted; renderers sort by t_us).
 type Artifact struct {
 	Run        string
 	IntervalUS float64
@@ -32,6 +35,7 @@ type Artifact struct {
 	Series     []ArtifactSeries
 	Hists      []ArtifactHist
 	Metrics    []ArtifactMetric
+	Flows      []ArtifactFlow
 }
 
 // ArtifactSeries is one reconstructed time-series column.
@@ -62,6 +66,24 @@ type ArtifactMetric struct {
 	V    float64 `json:"v"`
 }
 
+// ArtifactFlow is one traced flow's reconstructed timeline.
+type ArtifactFlow struct {
+	ID      int64
+	Dropped int64 // spans lost to ring overflow
+	Spans   []ArtifactSpan
+}
+
+// ArtifactSpan is one serialized timeline span; field semantics follow the
+// SpanKind documentation in flowtrace.go.
+type ArtifactSpan struct {
+	TUS     float64
+	Kind    string
+	Seq     int64
+	DelayUS float64
+	Dev     string
+	A, B    float64
+}
+
 type artifactLine struct {
 	Type       string           `json:"type"`
 	Run        string           `json:"run,omitempty"`
@@ -74,6 +96,15 @@ type artifactLine struct {
 	V          []float64        `json:"v,omitempty"`
 	Hist       *ArtifactHist    `json:"hist,omitempty"`
 	Metric     *ArtifactMetric  `json:"metric,omitempty"`
+	Flow       int64            `json:"flow,omitempty"`
+	Spans      int              `json:"spans,omitempty"`
+	Dropped    int64            `json:"dropped,omitempty"`
+	Kind       string           `json:"kind,omitempty"`
+	Seq        int64            `json:"seq,omitempty"`
+	DelayUS    float64          `json:"delay_us,omitempty"`
+	Dev        string           `json:"dev,omitempty"`
+	A          float64          `json:"a,omitempty"`
+	B          float64          `json:"b,omitempty"`
 }
 
 // WriteArtifact serializes a run's telemetry to w. Series, histograms, and
@@ -122,6 +153,28 @@ func WriteArtifact(w io.Writer, run string, rec *Recorder) error {
 			v, _ := rec.Metrics.Value(name)
 			if err := enc.Encode(artifactLine{Type: "metric", Metric: &ArtifactMetric{Name: name, V: v}}); err != nil {
 				return err
+			}
+		}
+	}
+	if rec.FlowTrace != nil {
+		for _, fl := range rec.FlowTrace.Logs() {
+			head := artifactLine{Type: "flow", Flow: fl.Flow, Spans: fl.Len(), Dropped: fl.Dropped}
+			if err := enc.Encode(head); err != nil {
+				return err
+			}
+			var encErr error
+			fl.Spans(func(sp Span) {
+				if encErr != nil {
+					return
+				}
+				encErr = enc.Encode(artifactLine{
+					Type: "span", Flow: fl.Flow, TUS: sp.T.Micros(),
+					Kind: sp.Kind.String(), Seq: sp.Seq, DelayUS: sp.Delay.Micros(),
+					Dev: sp.Dev, A: sp.A, B: sp.B,
+				})
+			})
+			if encErr != nil {
+				return encErr
 			}
 		}
 	}
@@ -186,6 +239,20 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 			if line.Metric != nil {
 				art.Metrics = append(art.Metrics, *line.Metric)
 			}
+		case "flow":
+			art.Flows = append(art.Flows, ArtifactFlow{ID: line.Flow, Dropped: line.Dropped})
+			if line.Spans > 0 {
+				art.Flows[len(art.Flows)-1].Spans = make([]ArtifactSpan, 0, line.Spans)
+			}
+		case "span":
+			fl := art.flow(line.Flow)
+			if fl == nil {
+				return nil, fmt.Errorf("artifact line %d: span for undeclared flow %d", n, line.Flow)
+			}
+			fl.Spans = append(fl.Spans, ArtifactSpan{
+				TUS: line.TUS, Kind: line.Kind, Seq: line.Seq,
+				DelayUS: line.DelayUS, Dev: line.Dev, A: line.A, B: line.B,
+			})
 		default:
 			return nil, fmt.Errorf("artifact line %d: unknown type %q", n, line.Type)
 		}
@@ -194,6 +261,18 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 		return nil, err
 	}
 	return art, nil
+}
+
+// flow returns the declared flow record with the given ID, nil if absent.
+// Writers emit span lines right after their flow line, so the linear scan
+// almost always hits the last element.
+func (a *Artifact) flow(id int64) *ArtifactFlow {
+	for i := len(a.Flows) - 1; i >= 0; i-- {
+		if a.Flows[i].ID == id {
+			return &a.Flows[i]
+		}
+	}
+	return nil
 }
 
 // TimeAtUS returns the microsecond timestamp of sample i.

@@ -100,11 +100,15 @@ func (h *Histogram) Max() int64 { return h.max }
 // Quantile returns an upper bound for the q-quantile (0..1): the upper edge
 // of the bucket holding the q*Count()-th value, clamped to Max(). The true
 // quantile lies within one bucket width (~6%) below the returned value.
+//
+// An empty histogram returns 0 for every q — the same "no data" value the
+// other accessors use — so report paths may query quantiles without a
+// Count() guard. q outside [0, 1] (including NaN) clamps into range.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	if q < 0 {
+	if q < 0 || q != q { // q != q: NaN also clamps low
 		q = 0
 	}
 	if q > 1 {

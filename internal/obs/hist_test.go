@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -169,5 +170,27 @@ func TestHistogramObserveZeroAlloc(t *testing.T) {
 		v += 997
 	}); allocs != 0 {
 		t.Errorf("Observe allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestHistogramEmptyQuantile pins the zero-count contract: every quantile
+// of an empty histogram is 0 (the "no data" value shared by Mean/Min/Max),
+// so renderers may query quantiles without guarding on Count().
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := obs.NewHistogram("empty", "ns")
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram accessors not all zero")
+	}
+	// One observation flips every quantile to that value's bucket.
+	h.Observe(7)
+	for _, q := range []float64{0, 0.5, 1, math.NaN()} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-value Quantile(%v) = %d, want 7", q, got)
+		}
 	}
 }

@@ -156,6 +156,11 @@ type Recorder struct {
 	// and event-heap gauges at every Series sampling tick — or, when Series
 	// is nil, at harness.DefaultWatchdogInterval.
 	Watchdog *Watchdog
+	// FlowTrace, when non-nil, records causal timelines (packet journeys +
+	// CC decision audit) for a deterministic sample of flows. Installed by
+	// harness.Net.Observe on the transport stacks and, via SwitchTracer, in
+	// front of the switch trace hook.
+	FlowTrace *FlowTracer
 }
 
 // NewRecorder returns a recorder with an empty registry and no trace sink.
@@ -172,4 +177,18 @@ func (r *Recorder) Tracer() Tracer {
 		return r.Flight
 	}
 	return r.Trace
+}
+
+// SwitchTracer resolves the trace sink for switches: the flow tracer
+// chained in front of Tracer() when flow tracing is on (switch drop and
+// ECN-mark events feed sampled flows' journeys), plain Tracer() otherwise.
+// Ports keep the plain Tracer() — their per-packet volume is covered by the
+// INT piggyback, so the port hot path never pays the flow-tracer branch.
+func (r *Recorder) SwitchTracer() Tracer {
+	t := r.Tracer()
+	if r.FlowTrace != nil {
+		r.FlowTrace.Inner = t
+		return r.FlowTrace
+	}
+	return t
 }

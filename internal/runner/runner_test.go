@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"prioplus/internal/cc"
+	"prioplus/internal/core"
 	"prioplus/internal/harness"
 	"prioplus/internal/obs"
 	"prioplus/internal/runner"
@@ -245,5 +246,65 @@ func TestOnResult(t *testing.T) {
 	}
 	if len(results) != len(tasks) {
 		t.Fatalf("got %d results", len(results))
+	}
+}
+
+// traceTask is obsTask with flow tracing on: two PrioPlus-wrapped flows on
+// different channels, every flow admitted, every packet journey-stamped.
+// The serialized artifact (flow + span lines included) is the output, so
+// byte-level comparison covers the causal-tracing layer end to end.
+func traceTask(name string, seed int64) runner.Task {
+	return runner.Task{
+		Name: name,
+		Run: func() (string, map[string]float64) {
+			eng := sim.NewEngine()
+			cfg := topo.DefaultConfig()
+			net := harness.New(topo.Star(eng, 3, cfg), seed)
+			rec := obs.NewRecorder()
+			ft := obs.NewFlowTracer(4)
+			ft.PacketEvery = 1
+			rec.FlowTrace = ft
+			net.Observe(rec)
+			base := net.Topo.BaseRTT(0, 2)
+			plan := core.DefaultPlan(base)
+			for src := 0; src < 2; src++ {
+				scfg := cc.DefaultSwiftConfig(base, net.BDPPackets(src, 2))
+				algo := core.New(cc.NewSwift(scfg), core.DefaultConfig(plan.Channel(2+src), 8))
+				net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: 200_000, Algo: algo})
+			}
+			eng.RunUntil(10 * sim.Millisecond)
+			net.CollectMetrics(rec)
+			var buf bytes.Buffer
+			if err := obs.WriteArtifact(&buf, name, rec); err != nil {
+				panic(err)
+			}
+			return buf.String(), nil
+		},
+	}
+}
+
+// TestTraceArtifactsDeterministicAcrossWorkers extends the batch-runner
+// contract to flow tracing: with packet journeys and the CC decision audit
+// recorded for every flow, the serialized artifact of every run must be
+// byte-identical between -parallel 1 and -parallel 8, across seeds.
+func TestTraceArtifactsDeterministicAcrossWorkers(t *testing.T) {
+	tasks := make([]runner.Task, 8)
+	for i := range tasks {
+		tasks[i] = traceTask(fmt.Sprintf("run%d", i), int64(i+1))
+	}
+	serial := runner.Run(tasks, runner.Options{Workers: 1})
+	parallel := runner.Run(tasks, runner.Options{Workers: 8})
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("run %d errored: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Output != parallel[i].Output {
+			t.Errorf("run %d trace artifact differs between -parallel 1 and 8", i)
+		}
+		for _, want := range []string{`"type":"flow"`, `"type":"span"`, `"kind":"start"`, `"kind":"hop"`} {
+			if !strings.Contains(serial[i].Output, want) {
+				t.Errorf("run %d artifact missing %s", i, want)
+			}
+		}
 	}
 }

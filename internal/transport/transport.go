@@ -46,6 +46,14 @@ type Stack struct {
 	RTTHist   *obs.Histogram
 	DelayHist *obs.Histogram
 
+	// FlowTrace, when non-nil, samples flows for causal tracing: admitted
+	// senders mark a stride of their packets Traced (hop journeys), record
+	// transport events (acks, retransmissions, RTOs, delivery), and expose
+	// the audit sink their congestion controller logs decisions to.
+	// Installed on every stack of a run by harness.Net.Observe; nil costs
+	// one branch per flow start.
+	FlowTrace *obs.FlowTracer
+
 	// Pool, when non-nil, is the run-wide packet pool: all packets this
 	// stack emits are drawn from it and every packet it terminates
 	// (delivered data once its ACK is built, ACKs and probe-acks once the
@@ -105,6 +113,9 @@ func NewStack(eng *sim.Engine, h *netsim.Host) *Stack {
 type recvState struct {
 	cum int64
 	ooo map[int64]int
+
+	flog     *obs.FlowLog // receiver side of a traced flow (nil when unsampled)
+	flogInit bool         // flog lookup performed
 }
 
 func (st *Stack) handle(pkt *netsim.Packet) {
@@ -160,6 +171,18 @@ func (st *Stack) onData(pkt *netsim.Packet) {
 	}
 	if st.DelayHist != nil {
 		st.DelayHist.Observe(int64((st.Eng.Now() - pkt.SentAt) / sim.Nanosecond))
+	}
+	if pkt.Traced && st.FlowTrace != nil {
+		if !r.flogInit {
+			r.flogInit = true
+			r.flog = st.FlowTrace.Log(pkt.FlowID)
+		}
+		if r.flog != nil {
+			r.flog.Add(obs.Span{
+				T: st.Eng.Now(), Kind: obs.SpanDeliver, Seq: pkt.Seq,
+				Delay: st.Eng.Now() - pkt.SentAt,
+			})
+		}
 	}
 	// The ACK takes ownership of the data packet's INT records; the data
 	// packet itself is done and goes back to the pool.
@@ -230,6 +253,11 @@ type Sender struct {
 
 	startAt sim.Time
 
+	// Flow tracing (nil flog for unsampled flows; see Stack.FlowTrace).
+	flog       *obs.FlowLog
+	pktCount   int64 // data packets emitted, for the journey stride
+	traceEvery int64 // journey sampling stride (every Nth data packet)
+
 	// Counters.
 	Retransmits int64
 	RTOs        int64
@@ -273,6 +301,12 @@ func (s *Sender) Start() {
 	}
 	s.started = true
 	s.startAt = s.st.Eng.Now()
+	if s.st.FlowTrace != nil {
+		// Admit before Algo.Start so the controller's start decision (and
+		// PrioPlus's probe-first choice) lands on the timeline.
+		s.flog = s.st.FlowTrace.Admit(s.spec.ID)
+		s.traceEvery = s.st.FlowTrace.JourneyStride()
+	}
 	s.spec.Algo.Start(s)
 	if !s.stopped {
 		s.trySend()
@@ -340,6 +374,22 @@ func (s *Sender) ResetRTO() { s.armRTO() }
 // Rand implements cc.Driver.
 func (s *Sender) Rand() *rand.Rand { return s.spec.Rand }
 
+// DecisionLog exposes the flow's audit sink to cc.DecisionLoggerOf: nil
+// unless the flow was sampled by the run's FlowTracer, so controllers of
+// untraced flows skip auditing with one nil check at Start.
+func (s *Sender) DecisionLog() cc.DecisionLogger {
+	if s.flog == nil {
+		return nil
+	}
+	return s
+}
+
+// LogDecision implements cc.DecisionLogger: one span on the flow's
+// timeline, stamped with the current simulated time.
+func (s *Sender) LogDecision(kind obs.SpanKind, delay sim.Time, a, b float64) {
+	s.flog.Add(obs.Span{T: s.st.Eng.Now(), Kind: kind, Delay: delay, A: a, B: b})
+}
+
 // --- sending machinery ---
 
 func (s *Sender) sendProbe() {
@@ -348,6 +398,9 @@ func (s *Sender) sendProbe() {
 	}
 	pkt := s.st.Pool.Probe(s.spec.ID, s.st.Host.ID, s.spec.Dst, s.spec.Prio)
 	pkt.SentAt = s.st.Eng.Now()
+	if s.flog != nil {
+		pkt.Traced = true // probes are always journey-traced (they are sparse)
+	}
 	s.ProbesSent++
 	s.st.Host.Send(pkt)
 	s.armRTO()
@@ -449,6 +502,16 @@ func (s *Sender) emit(seq int64, length int, retx bool) {
 	pkt.VPrio = s.spec.VPrio
 	pkt.ECT = s.spec.Algo.WantsECT()
 	pkt.SentAt = s.st.Eng.Now()
+	if s.flog != nil {
+		s.pktCount++
+		if s.traceEvery <= 1 || s.pktCount%s.traceEvery == 0 {
+			pkt.Traced = true
+		}
+		if retx {
+			// Retransmissions always make the timeline, traced or not.
+			s.flog.Add(obs.Span{T: pkt.SentAt, Kind: obs.SpanRetx, Seq: seq, A: float64(length)})
+		}
+	}
 	s.st.Host.Send(pkt)
 	s.armRTO()
 }
@@ -482,6 +545,9 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.RTOs++
+	if s.flog != nil {
+		s.flog.Add(obs.Span{T: s.st.Eng.Now(), Kind: obs.SpanRTO, A: float64(s.inflight)})
+	}
 	s.spec.Algo.OnRTO()
 	if s.stopped {
 		// A probe (or its ACK) was lost: retry immediately.
@@ -603,6 +669,13 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 		}
 	}
 
+	traced := s.flog != nil && pkt.Traced
+	if traced {
+		// Pull the hop journey off the piggyback array and strip the trace
+		// records before the CC sees the feedback: HPCC's utilization
+		// computation requires fb.INT to hold INT-proper records only.
+		s.recordJourney(pkt)
+	}
 	fb := cc.Feedback{
 		Now:        s.st.Eng.Now(),
 		Delay:      rtt,
@@ -613,6 +686,15 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 		INT:        pkt.INT,
 	}
 	s.spec.Algo.OnAck(fb)
+	if traced {
+		// Post-decision window: together with the decision audit this gives
+		// the sampled "sensed delay -> decision -> rate" timeline for every
+		// controller, with no per-algorithm per-ACK hooks.
+		s.flog.Add(obs.Span{
+			T: fb.Now, Kind: obs.SpanAcked, Seq: pkt.Seq, Delay: rtt,
+			A: s.spec.Algo.CwndBytes(), B: float64(s.inflight),
+		})
+	}
 
 	if s.sndUna >= s.spec.Size {
 		s.complete()
@@ -620,6 +702,24 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 	}
 	s.armRTO()
 	s.trySend()
+}
+
+// recordJourney converts the trace records a traced packet accumulated at
+// each egress hop into SpanHop entries, filtering them out of pkt.INT in
+// place (trace records have Dev set, INT-proper records do not).
+func (s *Sender) recordJourney(pkt *netsim.Packet) {
+	kept := pkt.INT[:0]
+	for _, r := range pkt.INT {
+		if r.Dev == "" {
+			kept = append(kept, r)
+			continue
+		}
+		s.flog.Add(obs.Span{
+			T: r.TS, Kind: obs.SpanHop, Seq: pkt.Seq,
+			Delay: r.QWait, Dev: r.Dev, A: float64(r.QLen),
+		})
+	}
+	pkt.INT = kept
 }
 
 func (s *Sender) onProbeAck(pkt *netsim.Packet) {
@@ -635,6 +735,12 @@ func (s *Sender) onProbeAck(pkt *netsim.Packet) {
 	} else {
 		s.updateSRTT(rtt)
 	}
+	traced := s.flog != nil && pkt.Traced
+	if traced {
+		// The probe-ack carries the probe's forward-path journey (the pool
+		// constructor hands the piggyback array across).
+		s.recordJourney(pkt)
+	}
 	fb := cc.Feedback{
 		Now:    s.st.Eng.Now(),
 		Delay:  rtt,
@@ -642,6 +748,12 @@ func (s *Sender) onProbeAck(pkt *netsim.Packet) {
 		CumAck: s.sndUna,
 	}
 	s.spec.Algo.OnProbeAck(fb)
+	if traced {
+		s.flog.Add(obs.Span{
+			T: fb.Now, Kind: obs.SpanProbeAcked, Delay: rtt,
+			A: s.spec.Algo.CwndBytes(),
+		})
+	}
 	if !s.stopped && !s.finished {
 		s.trySend()
 	}

@@ -6,6 +6,7 @@ import (
 
 	"prioplus/internal/cc"
 	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 	"prioplus/internal/transport"
 )
@@ -78,5 +79,50 @@ func TestPooledFlowDeliversEverything(t *testing.T) {
 	if rig.pool.News >= rig.pool.Gets/10 {
 		t.Errorf("pool barely recycling: %d fresh allocations out of %d gets",
 			rig.pool.News, rig.pool.Gets)
+	}
+}
+
+// TestPacketPathZeroAllocTracerOff pins the tracing-off cost of the causal
+// flow tracer at zero: with the hooks compiled in, the steady-state packet
+// path (emit, serialize, deliver, ACK, CC hook, recycle) must not allocate
+// — neither with no tracer installed, nor with a FlowTracer installed whose
+// sampling policy skipped the flow (nil FlowLog, the common case).
+func TestPacketPathZeroAllocTracerOff(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(r *pathRig)
+	}{
+		{"no-tracer", func(r *pathRig) {}},
+		{"tracer-unsampled", func(r *pathRig) {
+			ft := obs.NewFlowTracer(1)
+			ft.PacketEvery = 1
+			if ft.Admit(999) == nil { // exhaust the cap: later flows unsampled
+				t.Fatal("sentinel flow not admitted")
+			}
+			r.a.FlowTrace = ft
+			r.b.FlowTrace = ft
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rig := newPathRig()
+			tc.install(rig)
+			s := rig.flow(2, 1<<40) // effectively unbounded: never finishes
+			s.Start()
+			now := sim.Time(0)
+			advance := func() {
+				now += 50 * sim.Microsecond
+				rig.eng.RunUntil(now)
+			}
+			for i := 0; i < 50; i++ {
+				advance() // reach steady state: pools warm, cwnd settled
+			}
+			if allocs := testing.AllocsPerRun(100, advance); allocs != 0 {
+				t.Errorf("steady-state packet path allocates %v/op, want 0", allocs)
+			}
+			if s.Finished() {
+				t.Fatal("flow finished during the measurement window")
+			}
+		})
 	}
 }
