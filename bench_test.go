@@ -37,7 +37,7 @@ func BenchmarkFig2ChipRatios(b *testing.B) {
 func BenchmarkFig3aD2TCP(b *testing.B) {
 	var r exp.Fig3aResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig3a(8 << 20)
+		r = exp.Fig3a(8<<20, exp.Options{})
 	}
 	b.ReportMetric(r.HighShare, "high_share")
 	b.ReportMetric(r.HighFCTvsIdeal, "high_fct_vs_ideal")
@@ -48,7 +48,7 @@ func BenchmarkFig3aD2TCP(b *testing.B) {
 func BenchmarkFig3bSwiftScaling(b *testing.B) {
 	var r exp.Fig3bResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig3b()
+		r = exp.Fig3b(exp.Options{})
 	}
 	b.ReportMetric(r.HighShare, "high_share")
 }
@@ -58,7 +58,7 @@ func BenchmarkFig3bSwiftScaling(b *testing.B) {
 func BenchmarkFig3cSwiftNoScaling(b *testing.B) {
 	var r exp.Fig3cResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig3c(100)
+		r = exp.Fig3c(100, exp.Options{})
 	}
 	b.ReportMetric(r.UtilBefore, "util_before")
 	b.ReportMetric(r.OverLimitFrac, "over_limit_frac")
@@ -70,7 +70,7 @@ func BenchmarkFig3cSwiftNoScaling(b *testing.B) {
 func BenchmarkFig3dTradeoffs(b *testing.B) {
 	var r exp.Fig3dResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig3d()
+		r = exp.Fig3d(exp.Options{})
 	}
 	b.ReportMetric(float64(r.ExtraQueueOnStart)/1000, "start_extra_queue_KB")
 	b.ReportMetric(r.ReclaimDelay.Millis(), "reclaim_ms")
@@ -91,8 +91,8 @@ func BenchmarkFig7NoiseCDF(b *testing.B) {
 func BenchmarkFig8Testbed(b *testing.B) {
 	var pp, sw exp.Fig8Result
 	for i := 0; i < b.N; i++ {
-		pp = exp.Fig8(true, 2*sim.Millisecond)
-		sw = exp.Fig8(false, 2*sim.Millisecond)
+		pp = exp.Fig8(true, 2*sim.Millisecond, exp.Options{})
+		sw = exp.Fig8(false, 2*sim.Millisecond, exp.Options{})
 	}
 	b.ReportMetric(pp.DominanceFrac, "prioplus_dominance")
 	b.ReportMetric(sw.DominanceFrac, "swift_dominance")
@@ -102,8 +102,8 @@ func BenchmarkFig8Testbed(b *testing.B) {
 func BenchmarkFig9Fluctuation(b *testing.B) {
 	var pp, sw exp.Fig9Result
 	for i := 0; i < b.N; i++ {
-		pp = exp.Fig9(true)
-		sw = exp.Fig9(false)
+		pp = exp.Fig9(true, exp.Options{})
+		sw = exp.Fig9(false, exp.Options{})
 	}
 	b.ReportMetric(pp.OverLimitFrac, "prioplus_over_limit")
 	b.ReportMetric(sw.OverLimitFrac, "swift_over_limit")
@@ -114,7 +114,7 @@ func BenchmarkFig9Fluctuation(b *testing.B) {
 func BenchmarkFig10aEightPrio(b *testing.B) {
 	var shares []float64
 	for i := 0; i < b.N; i++ {
-		shares = exp.Fig10a(3, 3*sim.Millisecond)
+		shares = exp.Fig10a(3, 3*sim.Millisecond, exp.Options{})
 	}
 	minShare := 1.0
 	for _, s := range shares[1:] {
@@ -129,7 +129,7 @@ func BenchmarkFig10aEightPrio(b *testing.B) {
 func BenchmarkFig10bIncast(b *testing.B) {
 	var r exp.Fig10bResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig10b(80)
+		r = exp.Fig10b(80, exp.Options{})
 	}
 	b.ReportMetric(r.WithinFrac, "within_channel_frac")
 	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
@@ -144,7 +144,7 @@ func BenchmarkFig10bIncastObs(b *testing.B) {
 		rec := obs.NewRecorder()
 		rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
 		rec.Hist = obs.NewHistSet()
-		r = exp.Fig10bObs(80, rec)
+		r = exp.Fig10b(80, exp.Options{Recorder: rec})
 		if rec.Series.Ticks() == 0 {
 			b.Fatal("sampler never fired")
 		}
@@ -163,7 +163,7 @@ func BenchmarkFig10bIncastTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rec := obs.NewRecorder()
 		rec.FlowTrace = obs.NewFlowTracer(4)
-		r = exp.Fig10bObs(80, rec)
+		r = exp.Fig10b(80, exp.Options{Recorder: rec})
 		spans = 0
 		for _, fl := range rec.FlowTrace.Logs() {
 			spans += fl.Len()
@@ -461,4 +461,25 @@ func BenchmarkExtWeightedVP(b *testing.B) {
 	}
 	b.ReportMetric(r.ShareRatio, "w4_w1_share_ratio")
 	b.ReportMetric(r.HighStrict, "high_channel_strictness")
+}
+
+// BenchmarkFaultSweep: mid-transfer link flap on the fat-tree; every
+// scheme must recover every flow (stuck == 0), and PrioPlus must keep
+// yielding through the fault.
+func BenchmarkFaultSweep(b *testing.B) {
+	var rows []exp.FaultSweepRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.FaultSweep(exp.DefaultFaultSweepConfig(), exp.Options{})
+	}
+	var stuck, rtos int64
+	for _, r := range rows {
+		stuck += int64(r.Stuck)
+		rtos += r.RTOs
+		if r.Scheme == "PrioPlus+Swift" {
+			b.ReportMetric(r.P99Slowdown, "pp_p99_slowdown")
+			b.ReportMetric(float64(r.Yields), "pp_yields")
+		}
+	}
+	b.ReportMetric(float64(stuck), "stuck_flows")
+	b.ReportMetric(float64(rtos), "total_rtos")
 }

@@ -8,7 +8,7 @@
 //
 //	fig2 fig3a fig3b fig3c fig3d fig7 fig8 fig9 fig10a fig10b fig10c
 //	fig10d fig11 fig12ab fig12c fig13 fig14 fig15 fig16 fig17 fig18
-//	tab2 appd ablation ext-ecn ext-weighted
+//	tab2 appd ablation ext-ecn ext-weighted faultsweep
 //
 // Use -full for paper-scale runs (slower); the default scale preserves the
 // comparisons at a fraction of the runtime. The `all` subcommand fans every
@@ -45,7 +45,7 @@ var experiments = []string{
 	"fig2", "fig3a", "fig3b", "fig3c", "fig3d", "fig7", "fig8", "fig9",
 	"fig10a", "fig10b", "fig10c", "fig10d", "fig11", "fig12ab", "fig12c",
 	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"tab2", "appd", "ablation", "ext-ecn", "ext-weighted",
+	"tab2", "appd", "ablation", "ext-ecn", "ext-weighted", "faultsweep",
 }
 
 // runOpts carries the per-run knobs shared by single and batch mode.
@@ -195,14 +195,14 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		tb.Render(w)
 
 	case "fig3a":
-		r := exp.Fig3a(8 << 20)
+		r := exp.Fig3a(8<<20, exp.Options{})
 		fmt.Fprintf(w, "D2TCP, deadlines 1x/2x ideal FCT on one queue\n")
 		fmt.Fprintf(w, "  high-priority share during contention: %.2f (strict would be ~1.0)\n", r.HighShare)
 		fmt.Fprintf(w, "  high-priority FCT vs ideal: %.2fx (strict would be ~1.0x)\n", r.HighFCTvsIdeal)
 		printSeries(w, o.series, r.Series)
 
 	case "fig3b":
-		r := exp.Fig3b()
+		r := exp.Fig3b(exp.Options{})
 		fmt.Fprintf(w, "Swift + target scaling, targets base+15us vs base+5us\n")
 		fmt.Fprintf(w, "  high-target share: %.2f (weighted sharing, violates O1)\n", r.HighShare)
 		printSeries(w, o.series, r.Series)
@@ -212,14 +212,14 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if !o.full {
 			n = 100
 		}
-		r := exp.Fig3c(n)
+		r := exp.Fig3c(n, exp.Options{})
 		fmt.Fprintf(w, "Swift w/o scaling, %d low flows + 1 high flow\n", n)
 		fmt.Fprintf(w, "  utilization before high flow: %.2f (fluctuation causes waste, violates O2)\n", r.UtilBefore)
 		fmt.Fprintf(w, "  delay above high target: %.0f%% of samples\n", r.OverLimitFrac*100)
 		fmt.Fprintf(w, "  high flow share after start: %.2f (decelerates, violates O1)\n", r.HighShareAfter)
 
 	case "fig3d":
-		r := exp.Fig3d()
+		r := exp.Fig3d(exp.Options{})
 		fmt.Fprintf(w, "Swift w/o scaling trade-offs (§3.3)\n")
 		fmt.Fprintf(w, "  extra queue from line-rate start: %d B\n", r.ExtraQueueOnStart)
 		fmt.Fprintf(w, "  reclaim delay after high flows stop: %v\n", r.ReclaimDelay)
@@ -244,8 +244,8 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			ppRec = sink.recorder("pp")
 			swRec = sink.recorder("swift")
 		}
-		pp := exp.Fig8Obs(true, interval, ppRec)
-		sw := exp.Fig8Obs(false, interval, swRec)
+		pp := exp.Fig8(true, interval, exp.Options{Recorder: ppRec})
+		sw := exp.Fig8(false, interval, exp.Options{Recorder: swRec})
 		tb := stats.NewTable("scheme", "dominance of newest priority")
 		tb.AddRow(pp.Scheme, pp.DominanceFrac)
 		tb.AddRow(sw.Scheme, sw.DominanceFrac)
@@ -253,8 +253,8 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		printSeries(w, o.series, pp.Series)
 
 	case "fig9":
-		pp := exp.Fig9(true)
-		sw := exp.Fig9(false)
+		pp := exp.Fig9(true, exp.Options{})
+		sw := exp.Fig9(false, exp.Options{})
 		tb := stats.NewTable("scheme", "frac of samples above D_limit")
 		tb.AddRow(pp.Scheme, pp.OverLimitFrac)
 		tb.AddRow(sw.Scheme, sw.OverLimitFrac)
@@ -268,7 +268,7 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if !o.full {
 			per, interval = 6, 5*sim.Millisecond
 		}
-		shares := exp.Fig10a(per, interval)
+		shares := exp.Fig10a(per, interval, exp.Options{})
 		tb := stats.NewTable("priority", "share in own interval")
 		for p, s := range shares {
 			tb.AddRow(p, s)
@@ -284,7 +284,7 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if sink != nil {
 			rec = sink.recorder("incast")
 		}
-		r := exp.Fig10bObs(n, rec)
+		r := exp.Fig10b(n, exp.Options{Recorder: rec})
 		fmt.Fprintf(w, "%d-flow incast, D_target %v\n", n, r.Target)
 		fmt.Fprintf(w, "  delay within channel: %.0f%% of samples; mean delay %v\n", r.WithinFrac*100, r.MeanDelay)
 
@@ -470,6 +470,31 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		fmt.Fprintf(w, "  weight-4 : weight-1 share ratio %.2f (ideal 4)\n", r.ShareRatio)
 		fmt.Fprintf(w, "  higher-channel flow share while active %.2f (strictness preserved)\n", r.HighStrict)
 
+	case "faultsweep":
+		cfg := exp.DefaultFaultSweepConfig()
+		cfg.Seed = o.seed
+		if sink != nil {
+			cfg.ObsFor = sink.recorder
+		}
+		rows := exp.FaultSweep(cfg, exp.Options{})
+		fmt.Fprintf(w, "mid-transfer link flap (down %v at %v), fat-tree k=%d, %d cross-pod flows\n",
+			cfg.FlapDur, cfg.FlapAt, cfg.K, cfg.K*cfg.K*cfg.K/4)
+		tb := stats.NewTable("scheme", "done", "stuck", "mean-slow", "p99-slow",
+			"retx", "rtos", "fault-drops", "no-route", "peak-q-kb", "yields")
+		stuck := 0
+		for _, r := range rows {
+			tb.AddRow(r.Scheme, fmt.Sprintf("%d/%d", r.Completed, r.Launched), r.Stuck,
+				r.MeanSlowdown, r.P99Slowdown, r.Retransmits, r.RTOs,
+				r.FaultDrops, r.NoRouteDrops, r.PeakQueueKB, r.Yields)
+			stuck += r.Stuck
+		}
+		tb.Render(w)
+		if stuck == 0 {
+			fmt.Fprintln(w, "all flows completed: every scheme recovered from the flap")
+		} else {
+			fmt.Fprintf(w, "WARNING: %d flows stuck at horizon\n", stuck)
+		}
+
 	case "tab2":
 		tb := stats.NewTable("strategy", "bytes delayed (analytic)", "max extra buffer (analytic)", "measured extra buffer (BDP)")
 		for _, r := range exp.Table2() {
@@ -577,6 +602,8 @@ experiments:
   ablation     design-choice ablations (filter, cardinality, probe)
   ext-ecn      Appendix B extension: per-priority ECN marking
   ext-weighted §7 extension: weighted virtual priority
+  faultsweep   mid-transfer link flap on a fat-tree: recovery and FCT
+               tails per scheme (see docs/ARCHITECTURE.md, Fault layer)
   all          every experiment above, fanned across a worker pool
   report       render -series artifacts as a text report
   trace        render flow-trace artifacts as causal per-flow timelines`)

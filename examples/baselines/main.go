@@ -69,10 +69,11 @@ func main() {
 			cfg.Buffer.ECNKMax = e.ecnK
 		}
 		nw := topo.Star(eng, 3, cfg)
-		net := harness.New(nw, 7)
+		var opts []harness.Option
 		if e.name == "hpcc" {
-			net.EnableINT()
+			opts = append(opts, harness.WithINT())
 		}
+		net := harness.New(nw, 7, opts...)
 		for src := 0; src < 2; src++ {
 			net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: 1 << 30, Prio: 0,
 				Algo: e.algo(net, src), Paced: e.paced})

@@ -25,9 +25,8 @@ func main() {
 	cfg := topo.DefaultConfig()
 	cfg.LinkDelay = 3 * sim.Microsecond
 	nw := topo.Star(eng, n+1, cfg)
-	net := harness.New(nw, 7)
 	nm := noise.NewLongTail(rand.New(rand.NewSource(7)), 1)
-	net.SetNoise(nm.Sample)
+	net := harness.New(nw, 7, harness.WithNoise(nm.Sample))
 
 	recv := n
 	base := nw.BaseRTT(0, recv)

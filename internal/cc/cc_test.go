@@ -17,13 +17,13 @@ func microCfg() topo.Config {
 	return cfg
 }
 
-func newStar(nHosts int, mod func(*topo.Config)) (*harness.Net, *sim.Engine) {
+func newStar(nHosts int, mod func(*topo.Config), opts ...harness.Option) (*harness.Net, *sim.Engine) {
 	eng := sim.NewEngine()
 	cfg := microCfg()
 	if mod != nil {
 		mod(&cfg)
 	}
-	net := harness.New(topo.Star(eng, nHosts, cfg), 11)
+	net := harness.New(topo.Star(eng, nHosts, cfg), 11, opts...)
 	return net, eng
 }
 
@@ -258,8 +258,7 @@ func TestLEDBATConvergesToTarget(t *testing.T) {
 }
 
 func TestHPCCHighUtilizationLowQueue(t *testing.T) {
-	net, eng := newStar(3, nil)
-	net.EnableINT()
+	net, eng := newStar(3, nil, harness.WithINT())
 	for i := 0; i < 2; i++ {
 		h := cc.NewHPCC(cc.DefaultHPCCConfig(net.BDPPackets(i, 2)))
 		net.AddFlow(harness.Flow{Src: i, Dst: 2, Size: 1 << 30, Prio: 0, Algo: h})

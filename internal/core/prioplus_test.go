@@ -19,9 +19,9 @@ func microCfg() topo.Config {
 	return cfg
 }
 
-func newStar(nHosts int) (*harness.Net, *sim.Engine) {
+func newStar(nHosts int, opts ...harness.Option) (*harness.Net, *sim.Engine) {
 	eng := sim.NewEngine()
-	net := harness.New(topo.Star(eng, nHosts, microCfg()), 23)
+	net := harness.New(topo.Star(eng, nHosts, microCfg()), 23, opts...)
 	return net, eng
 }
 
@@ -233,15 +233,14 @@ func TestProbeBandwidthTiny(t *testing.T) {
 func TestFilterAbsorbsSingleSpike(t *testing.T) {
 	// One above-limit noise spike must not make the flow yield; the
 	// paper's filter requires two consecutive measurements (§4.3.1).
-	net, eng := newStar(3)
 	spike := false
-	net.SetNoise(func() sim.Time {
+	net, eng := newStar(3, harness.WithNoise(func() sim.Time {
 		if spike {
 			spike = false
 			return 30 * sim.Microsecond
 		}
 		return 0
-	})
+	}))
 	pp := prioPlusFor(net, 0, 2, 2, 8)
 	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: pp})
 	for i := 1; i <= 5; i++ {
@@ -254,15 +253,14 @@ func TestFilterAbsorbsSingleSpike(t *testing.T) {
 }
 
 func TestTwoConsecutiveSpikesTriggerYield(t *testing.T) {
-	net, eng := newStar(3)
 	spikes := 0
-	net.SetNoise(func() sim.Time {
+	net, eng := newStar(3, harness.WithNoise(func() sim.Time {
 		if spikes > 0 {
 			spikes--
 			return 30 * sim.Microsecond
 		}
 		return 0
-	})
+	}))
 	pp := prioPlusFor(net, 0, 2, 2, 8)
 	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 1 << 30, Prio: 0, Algo: pp})
 	eng.At(500*sim.Microsecond, func() { spikes = 5 })

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"prioplus/internal/fault"
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
@@ -41,6 +42,9 @@ type CoflowConfig struct {
 	// for the no-priority baseline). Fig12Coflow runs several engines, so a
 	// single shared Recorder cannot serve it.
 	ObsFor func(tag string) *obs.Recorder
+	// Faults, when non-nil and non-empty, is installed on each run's
+	// topology before traffic starts.
+	Faults *fault.Plan
 	// MaxInflight, when > 0, arms an in-flight-bytes watchdog on every run:
 	// a run whose live packet bytes exceed the ceiling is stopped early and
 	// reported with CoflowResult.Watchdog set. This is how fig18's quick
@@ -104,8 +108,10 @@ func RunCoflow(cfg CoflowConfig) CoflowResult {
 		tc.Buffer.PFCEnabled = false
 	}
 	nw := topo.Clos(eng, cfg.Pods, cfg.Edges, cfg.HostsPerEdge, cfg.Aggs, cfg.Cores, tc)
-	net := harness.New(nw, cfg.Seed)
-	cfg.Scheme.Post(net)
+	nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), 1)
+	opts := append(cfg.Scheme.NetOptions(),
+		harness.WithNoise(nm.Sample), harness.WithFaults(cfg.Faults))
+	net := harness.New(nw, cfg.Seed, opts...)
 	var rec *obs.Recorder
 	if cfg.ObsFor != nil {
 		tag := cfg.Scheme.Name
@@ -128,9 +134,6 @@ func RunCoflow(cfg CoflowConfig) CoflowResult {
 			rec.Series.ReserveUntil(cfg.Duration + cfg.Drain)
 		}
 	}
-	nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), 1)
-	net.SetNoise(nm.Sample)
-
 	coflows := cfg.Trace
 	if coflows == nil {
 		rng := rand.New(rand.NewSource(cfg.Seed + 13))

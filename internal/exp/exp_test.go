@@ -9,7 +9,7 @@ import (
 
 func TestFig3aD2TCPNotStrict(t *testing.T) {
 	t.Parallel()
-	r := Fig3a(8 << 20)
+	r := Fig3a(8<<20, Options{})
 	// D2TCP favors the tight-deadline flow but does not give it the link.
 	if r.HighShare < 0.5 || r.HighShare > 0.95 {
 		t.Errorf("D2TCP high share = %.2f, want weighted (0.5..0.95)", r.HighShare)
@@ -22,7 +22,7 @@ func TestFig3aD2TCPNotStrict(t *testing.T) {
 
 func TestFig3bSwiftScalingWeighted(t *testing.T) {
 	t.Parallel()
-	r := Fig3b()
+	r := Fig3b(Options{})
 	if r.HighShare < 0.5 || r.HighShare > 0.95 {
 		t.Errorf("Swift+scaling high share = %.2f, want weighted sharing (violating O1), not strict", r.HighShare)
 	}
@@ -30,7 +30,7 @@ func TestFig3bSwiftScalingWeighted(t *testing.T) {
 
 func TestFig3cSwiftNoScalingFluctuates(t *testing.T) {
 	t.Parallel()
-	r := Fig3c(100)
+	r := Fig3c(100, Options{})
 	// With many flows and no scaling, fluctuations cross the high flow's
 	// target, so the high flow cannot take the whole link (O1 violation).
 	if r.HighShareAfter > 0.9 {
@@ -43,7 +43,7 @@ func TestFig3cSwiftNoScalingFluctuates(t *testing.T) {
 
 func TestFig3dTradeoffs(t *testing.T) {
 	t.Parallel()
-	r := Fig3d()
+	r := Fig3d(Options{})
 	// Line-rate start of the low pair creates a large queue transient.
 	if r.ExtraQueueOnStart < 50_000 {
 		t.Errorf("line-rate start added only %d B of queue; expected a large transient", r.ExtraQueueOnStart)
@@ -57,8 +57,8 @@ func TestFig3dTradeoffs(t *testing.T) {
 
 func TestFig8PrioPlusBeatsMultiTargetSwift(t *testing.T) {
 	t.Parallel()
-	pp := Fig8(true, 2*sim.Millisecond)
-	sw := Fig8(false, 2*sim.Millisecond)
+	pp := Fig8(true, 2*sim.Millisecond, Options{})
+	sw := Fig8(false, 2*sim.Millisecond, Options{})
 	if pp.DominanceFrac < 0.75 {
 		t.Errorf("PrioPlus dominance = %.2f, want > 0.75", pp.DominanceFrac)
 	}
@@ -69,8 +69,8 @@ func TestFig8PrioPlusBeatsMultiTargetSwift(t *testing.T) {
 
 func TestFig9CardinalityEstimationContainsDelay(t *testing.T) {
 	t.Parallel()
-	pp := Fig9(true)
-	sw := Fig9(false)
+	pp := Fig9(true, Options{})
+	sw := Fig9(false, Options{})
 	if pp.OverLimitFrac >= sw.OverLimitFrac {
 		t.Errorf("PrioPlus over-limit %.2f >= Swift %.2f; estimation should help", pp.OverLimitFrac, sw.OverLimitFrac)
 	}
@@ -84,7 +84,7 @@ func TestFig9CardinalityEstimationContainsDelay(t *testing.T) {
 
 func TestFig10bIncastContained(t *testing.T) {
 	t.Parallel()
-	r := Fig10b(60)
+	r := Fig10b(60, Options{})
 	if r.WithinFrac < 0.7 {
 		t.Errorf("delay within channel %.0f%% of samples, want mostly contained", r.WithinFrac*100)
 	}

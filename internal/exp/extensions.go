@@ -30,9 +30,13 @@ type AblationFilterResult struct {
 // Without the filter, long-tail noise spikes trigger spurious yields.
 func AblationFilter() []AblationFilterResult {
 	run := func(consec int) AblationFilterResult {
-		net, eng := microNet(7, 51, nil)
-		nm := noiseScaled(53, 2)
-		net.SetNoise(nm)
+		// 2x-scaled noise replaces microNet's standard model, so the star is
+		// built directly with the scaled sampler installed up front.
+		eng := sim.NewEngine()
+		cfg := topo.DefaultConfig()
+		cfg.LinkDelay = 3 * sim.Microsecond
+		cfg.Seed = 51
+		net := harness.New(topo.Star(eng, 7, cfg), 51, harness.WithNoise(noiseScaled(53, 2)))
 		recv := 6
 		base := net.Topo.BaseRTT(0, recv)
 		plan := core.DefaultPlan(base)
@@ -72,7 +76,7 @@ type AblationCardinalityResult struct {
 // aggregate repeatedly overshoots D_limit (§4.3.1's "problematic cycle").
 func AblationCardinality(n int) []AblationCardinalityResult {
 	run := func(enabled bool) AblationCardinalityResult {
-		net, eng := microNet(n+2, 57, nil)
+		net, eng := microNet(n+2, 57, nil, Options{})
 		recv := n + 1
 		base := net.Topo.BaseRTT(0, recv)
 		plan := core.DefaultPlan(base)
@@ -122,7 +126,7 @@ func AblationProbe() []AblationProbeResult {
 	run := func(naive bool) AblationProbeResult {
 		const perPrio, nHigh = 10, 10
 		const nLow = 4 * perPrio
-		net, eng := microNet(nLow+nHigh+2, 61, nil)
+		net, eng := microNet(nLow+nHigh+2, 61, nil, Options{})
 		recv := nLow + nHigh
 		base := net.Topo.BaseRTT(0, recv)
 		plan := core.DefaultPlan(base)
@@ -212,7 +216,7 @@ type ECNPrioResult struct {
 func ECNPrio() ECNPrioResult {
 	net, eng := microNet(5, 67, func(cfg *topo.Config) {
 		cfg.Buffer.ECNKByVPrio = []int{25_000, 150_000}
-	})
+	}, Options{})
 	recv := 4
 	for i := 0; i < 4; i++ {
 		d := cc.NewDCTCP(cc.DefaultDCTCPConfig(net.BDPPackets(i, recv)))
@@ -241,7 +245,7 @@ type WeightedVPResult struct {
 // WeightedVP runs two flows in one channel with AI weights 1 and 4, plus a
 // strictly higher-priority flow that preempts both for part of the run.
 func WeightedVP() WeightedVPResult {
-	net, eng := microNet(4, 71, nil)
+	net, eng := microNet(4, 71, nil, Options{})
 	recv := 3
 	base := net.Topo.BaseRTT(0, recv)
 	plan := core.DefaultPlan(base)

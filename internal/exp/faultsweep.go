@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"prioplus/internal/core"
+	"prioplus/internal/fault"
+	"prioplus/internal/harness"
+	"prioplus/internal/netsim"
+	"prioplus/internal/obs"
+	"prioplus/internal/sim"
+	"prioplus/internal/stats"
+	"prioplus/internal/topo"
+	"prioplus/internal/transport"
+)
+
+// FaultSweepConfig drives the fault-injection experiment family: a
+// cross-pod permutation workload on a fat-tree with a mid-transfer flap of
+// one edge-to-agg uplink, run once per scheme. The paper validates
+// PrioPlus only on a healthy fabric; this sweep measures how its
+// delay-channel behavior (yields, containment) and FCT tails degrade when
+// the fabric misbehaves, against the physical-queue baselines.
+type FaultSweepConfig struct {
+	K        int      // fat-tree arity (default 4 -> 16 hosts)
+	NPrios   int      // virtual priorities (default 4)
+	FlowSize int64    // bytes per flow (default 8 MB)
+	Horizon  sim.Time // run cutoff, generous for RTO recovery (default 20 ms)
+	Seed     int64    // workload seed (default 5); Options.Seed overrides
+	// FlapAt/FlapDur shape the default fault plan: the p0e0-p0a0 uplink
+	// goes down at FlapAt for FlapDur, mid-transfer for the default flow
+	// size. Options.Faults replaces the default plan entirely.
+	FlapAt  sim.Time
+	FlapDur sim.Time
+	Schemes []Scheme
+	// ObsFor, when non-nil, supplies a fresh recorder per scheme run,
+	// keyed by the scheme name. The sweep runs one engine per scheme, so a
+	// single Options.Recorder can only serve a single-scheme config.
+	ObsFor func(tag string) *obs.Recorder
+}
+
+// DefaultFaultSweepConfig returns the standard sweep: PrioPlus+Swift
+// against the physical-queue Swift, DCQCN, and HPCC baselines.
+func DefaultFaultSweepConfig() FaultSweepConfig {
+	return FaultSweepConfig{
+		K:        4,
+		NPrios:   4,
+		FlowSize: 8 << 20,
+		Horizon:  20 * sim.Millisecond,
+		Seed:     5,
+		FlapAt:   200 * sim.Microsecond,
+		FlapDur:  300 * sim.Microsecond,
+		Schemes: []Scheme{
+			PrioPlusSwift(),
+			SwiftPhysical(4),
+			DCQCNPhysical(4),
+			HPCCPhysical(4),
+		},
+	}
+}
+
+// FaultSweepRow is one scheme's outcome under the fault plan.
+type FaultSweepRow struct {
+	Scheme       string
+	Launched     int
+	Completed    int
+	Stuck        int // flows unfinished at the horizon — must be 0
+	MeanSlowdown float64
+	P99Slowdown  float64
+	Retransmits  int64
+	RTOs         int64
+	FaultDrops   int64 // packets dropped by downed links (queued + in-flight)
+	CorruptDrops int64
+	NoRouteDrops int64 // packets caught mid-flight with no surviving route
+	FaultEvents  int   // executed fault actions (flap edges, reboots)
+	PeakQueueKB  int   // max egress queue HWM across the fabric, containment proxy
+	Yields       int64 // PrioPlus delay-channel yields (0 for baselines)
+}
+
+// FaultSweep runs every scheme of the config through the same fault plan
+// and workload. The default plan is a single mid-transfer flap of the
+// p0e0-p0a0 uplink; Options.Faults substitutes any plan, Options.Seed
+// reseeds the workload, and Options.Recorder instruments the run when the
+// config has a single scheme (use ObsFor for per-scheme recorders).
+func FaultSweep(cfg FaultSweepConfig, o Options) []FaultSweepRow {
+	if cfg.K == 0 {
+		cfg = DefaultFaultSweepConfig()
+	}
+	seed := o.seedOr(cfg.Seed)
+	plan := o.Faults
+	if plan == nil {
+		plan = fault.NewPlan(seed).Flap(cfg.FlapAt, cfg.FlapDur, fault.Link("p0e0", "p0a0"))
+	}
+	rows := make([]FaultSweepRow, 0, len(cfg.Schemes))
+	for _, s := range cfg.Schemes {
+		ro := Options{Seed: seed, Faults: plan, Recorder: o.Recorder}
+		if cfg.ObsFor != nil {
+			ro.Recorder = cfg.ObsFor(s.Name)
+		}
+		rows = append(rows, faultSweepOne(s, cfg, ro))
+	}
+	return rows
+}
+
+// faultSweepOne runs one scheme: cross-pod permutation flows (every host
+// sends FlowSize to the host half the fabric away, so every flow crosses
+// the core) with priorities striped across senders.
+func faultSweepOne(s Scheme, cfg FaultSweepConfig, o Options) FaultSweepRow {
+	eng := sim.NewEngine()
+	tc := topo.DefaultConfig()
+	tc.LinkDelay = 1 * sim.Microsecond
+	tc.Seed = o.Seed
+	tc.Buffer = netsim.DefaultBufferConfig()
+	tc.Buffer.TotalBytes = int(4.4e6 * float64(cfg.K) * 100 / 1000)
+	linkBDP := tc.HostRate.BDP(2 * tc.LinkDelay)
+	tc.Buffer.HeadroomBytes = int(2*linkBDP) + 8*(netsim.DefaultMTU+netsim.HeaderBytes)
+	s.Fabric(&tc, cfg.NPrios)
+	nw := topo.FatTree(eng, cfg.K, tc)
+	opts := append(s.NetOptions(), harness.WithFaults(o.Faults))
+	net := harness.New(nw, o.Seed, opts...)
+	rec := o.Recorder
+	if rec != nil {
+		net.Observe(rec)
+		if rec.Series != nil {
+			rec.Series.ReserveUntil(cfg.Horizon)
+		}
+	}
+
+	row := FaultSweepRow{Scheme: s.Name}
+	// Observe owns OnFlowDone when a recorder is attached; chain behind it
+	// so the sweep's per-flow recovery counters coexist with telemetry.
+	for _, st := range net.Stacks {
+		inner := st.OnFlowDone
+		st.OnFlowDone = func(fs transport.FlowStats) {
+			row.Retransmits += fs.Retransmits
+			row.RTOs += fs.RTOs
+			if inner != nil {
+				inner(fs)
+			}
+		}
+	}
+
+	nHosts := len(nw.Hosts)
+	flows := &stats.Collector{}
+	var pps []*core.PrioPlus
+	for src := 0; src < nHosts; src++ {
+		dst := (src + nHosts/2) % nHosts
+		prio := src % cfg.NPrios
+		base := nw.BaseRTT(src, dst)
+		env := FlowEnv{
+			Prio:    prio,
+			NPrios:  cfg.NPrios,
+			BaseRTT: base,
+			BDPPkts: tc.HostRate.BDP(base) / netsim.DefaultMTU,
+			Size:    cfg.FlowSize,
+			Ideal:   IdealFCT(cfg.FlowSize, tc.HostRate, base),
+		}
+		algo := s.NewAlgo(env)
+		if pp, ok := algo.(*core.PrioPlus); ok {
+			pps = append(pps, pp)
+		}
+		size := cfg.FlowSize
+		ideal := env.Ideal
+		row.Launched++
+		net.AddFlow(harness.Flow{
+			Src: src, Dst: dst, Size: size,
+			Prio: s.QueueFor(prio, cfg.NPrios, tc.Queues),
+			Algo: algo,
+			OnComplete: func(fct sim.Time) {
+				flows.Add(stats.FlowRecord{Size: size, FCT: fct, Ideal: ideal, Prio: prio})
+			},
+		})
+	}
+	eng.RunUntil(cfg.Horizon)
+
+	row.Completed = flows.Count()
+	row.Stuck = row.Launched - row.Completed
+	row.MeanSlowdown = flows.MeanSlowdown()
+	row.P99Slowdown = flows.PercentileSlowdown(0.99)
+	for _, sw := range nw.Switches {
+		row.NoRouteDrops += sw.NoRouteDrop
+		for _, p := range sw.Ports {
+			row.FaultDrops += p.FaultDrops
+			row.CorruptDrops += p.CorruptDrops
+			if kb := p.QueueHWM / 1024; kb > row.PeakQueueKB {
+				row.PeakQueueKB = kb
+			}
+		}
+	}
+	for _, h := range nw.Hosts {
+		row.FaultDrops += h.NIC.FaultDrops
+		row.CorruptDrops += h.NIC.CorruptDrops
+	}
+	if net.Faults != nil {
+		row.FaultEvents = len(net.Faults.Events())
+	}
+	for _, pp := range pps {
+		row.Yields += pp.Yields
+	}
+	if rec != nil {
+		net.CollectMetrics(rec)
+	}
+	return row
+}

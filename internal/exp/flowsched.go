@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"prioplus/internal/fault"
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
@@ -43,6 +44,10 @@ type FlowSchedConfig struct {
 	// (Fig11's sweep) need this: a Recorder is strictly per-engine, so one
 	// shared Obs cannot serve them.
 	ObsFor func(tag string) *obs.Recorder
+	// Faults, when non-nil and non-empty, is installed on each run's
+	// topology before traffic starts. A Plan is immutable, so the same
+	// plan serves every run of a sweep.
+	Faults *fault.Plan
 }
 
 // runTag identifies one flow-scheduling run within a figure's sweep.
@@ -98,8 +103,16 @@ func RunFlowSched(cfg FlowSchedConfig) FlowSchedResult {
 	tc.Buffer.HeadroomBytes = int(2*linkBDP) + 8*(netsim.DefaultMTU+netsim.HeaderBytes)
 	cfg.Scheme.Fabric(&tc, cfg.NPrios)
 	nw := topo.FatTree(eng, cfg.K, tc)
-	net := harness.New(nw, cfg.Seed)
-	cfg.Scheme.Post(net)
+	opts := cfg.Scheme.NetOptions()
+	if cfg.AckPrioData {
+		opts = append(opts, harness.WithAckPrioData())
+	}
+	if cfg.NoiseScale > 0 {
+		nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), cfg.NoiseScale)
+		opts = append(opts, harness.WithNoise(nm.Sample))
+	}
+	opts = append(opts, harness.WithFaults(cfg.Faults))
+	net := harness.New(nw, cfg.Seed, opts...)
 	rec := cfg.Obs
 	if rec == nil && cfg.ObsFor != nil {
 		rec = cfg.ObsFor(cfg.runTag())
@@ -109,13 +122,6 @@ func RunFlowSched(cfg FlowSchedConfig) FlowSchedResult {
 		if rec.Series != nil {
 			rec.Series.ReserveUntil(cfg.Duration + cfg.Drain)
 		}
-	}
-	if cfg.AckPrioData {
-		net.SetAckPrioData()
-	}
-	if cfg.NoiseScale > 0 {
-		nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), cfg.NoiseScale)
-		net.SetNoise(nm.Sample)
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 13))

@@ -8,15 +8,17 @@ import (
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
-	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 	"prioplus/internal/topo"
 )
 
 // microNet builds the paper's micro-benchmark fabric: a star of 100 Gb/s,
 // 3 us links (base RTT ~12 us through the switch), with long-tail
-// measurement noise installed.
-func microNet(nHosts int, seed int64, mod func(*topo.Config)) (*harness.Net, *sim.Engine) {
+// measurement noise installed. Options thread the cross-cutting knobs in:
+// a seed override, an observability recorder (attached before traffic),
+// and a fault plan.
+func microNet(nHosts int, seed int64, mod func(*topo.Config), o Options) (*harness.Net, *sim.Engine) {
+	seed = o.seedOr(seed)
 	eng := sim.NewEngine()
 	cfg := topo.DefaultConfig()
 	cfg.LinkDelay = 3 * sim.Microsecond
@@ -24,9 +26,13 @@ func microNet(nHosts int, seed int64, mod func(*topo.Config)) (*harness.Net, *si
 	if mod != nil {
 		mod(&cfg)
 	}
-	net := harness.New(topo.Star(eng, nHosts, cfg), seed)
 	nm := noise.NewLongTail(rand.New(rand.NewSource(seed+7)), 1)
-	net.SetNoise(nm.Sample)
+	net := harness.New(topo.Star(eng, nHosts, cfg), seed,
+		harness.WithNoise(nm.Sample),
+		harness.WithFaults(o.Faults))
+	if o.Recorder != nil {
+		net.Observe(o.Recorder)
+	}
 	return net, eng
 }
 
@@ -60,11 +66,11 @@ type Fig3aResult struct {
 // Fig3a reproduces the D2TCP micro-benchmark: two flows with deadlines 1x
 // and 2x the ideal FCT. D2TCP slows both on ECN, so the tight flow neither
 // monopolizes bandwidth nor finishes at its ideal FCT (Observation 1).
-func Fig3a(size int64) Fig3aResult {
+func Fig3a(size int64, o Options) Fig3aResult {
 	net, eng := microNet(3, 3, func(cfg *topo.Config) {
 		cfg.Buffer.ECNKMin = 100_000
 		cfg.Buffer.ECNKMax = 100_000
-	})
+	}, o)
 	base := net.Topo.BaseRTT(0, 2)
 	ideal := IdealFCT(size, 100*netsim.Gbps, base)
 	var fctHigh sim.Time
@@ -103,8 +109,8 @@ type Fig3bResult struct {
 // Fig3b runs 2 high-priority (target base+15us) and 2 low-priority (target
 // base+5us) Swift flows with target scaling: scaling re-inflates the low
 // flows' targets as they shrink, yielding weighted sharing (§3.2).
-func Fig3b() Fig3bResult {
-	net, eng := microNet(5, 5, nil)
+func Fig3b(o Options) Fig3bResult {
+	net, eng := microNet(5, 5, nil, o)
 	mk := func(src int, off sim.Time) *cc.Swift {
 		base := net.Topo.BaseRTT(src, 4)
 		cfg := cc.DefaultSwiftConfig(base, net.BDPPackets(src, 4))
@@ -142,8 +148,8 @@ type Fig3cResult struct {
 
 // Fig3c runs 300 low-priority Swift flows (no scaling, target base+5us)
 // against one high flow (target base+15us) starting at 2 ms.
-func Fig3c(nLow int) Fig3cResult {
-	net, eng := microNet(nLow+2, 7, nil)
+func Fig3c(nLow int, o Options) Fig3cResult {
+	net, eng := microNet(nLow+2, 7, nil, o)
 	recv := nLow + 1
 	mk := func(src int, off sim.Time) *cc.Swift {
 		base := net.Topo.BaseRTT(src, recv)
@@ -202,8 +208,8 @@ type Fig3dResult struct {
 // Fig3d runs 2+2 Swift flows without scaling: the low pair starts at
 // 100 us (line-rate start hurts the high pair), the high pair stops at
 // 2 ms (the low pair reclaims slowly from its minimum rate).
-func Fig3d() Fig3dResult {
-	net, eng := microNet(5, 9, nil)
+func Fig3d(o Options) Fig3dResult {
+	net, eng := microNet(5, 9, nil, o)
 	mk := func(src int, off sim.Time) *cc.Swift {
 		base := net.Topo.BaseRTT(src, 4)
 		cfg := cc.DefaultSwiftConfig(base, net.BDPPackets(src, 4))
@@ -262,25 +268,20 @@ type Fig8Result struct {
 // Fig8 runs the testbed experiment in simulation: priorities 3-6, two
 // flows each, starting low-to-high at `interval` and ending in the same
 // order (modeled by finite sizes). 10 Gb/s links as in the testbed.
-func Fig8(usePrioPlus bool, interval sim.Time) Fig8Result {
-	return Fig8Obs(usePrioPlus, interval, nil)
-}
-
-// Fig8Obs is Fig8 with an optional observability recorder attached. With a
-// FlowTracer enabled this is the canonical yield/reclaim tracing scenario:
-// flow IDs are assigned in start order, so flows 1-2 are the lowest
-// priority (channel 2, start t=0) and flows 7-8 the highest (channel 5,
-// start 3*interval); `prioplus-sim trace -flows 1,7` renders the paper's
-// Fig 8 interleaving. Instrumentation does not change figure output.
-func Fig8Obs(usePrioPlus bool, interval sim.Time, rec *obs.Recorder) Fig8Result {
+//
+// With a recorder carrying a FlowTracer this is the canonical
+// yield/reclaim tracing scenario: flow IDs are assigned in start order, so
+// flows 1-2 are the lowest priority (channel 2, start t=0) and flows 7-8
+// the highest (channel 5, start 3*interval); `prioplus-sim trace -flows
+// 1,7` renders the paper's Fig 8 interleaving. Instrumentation does not
+// change figure output.
+func Fig8(usePrioPlus bool, interval sim.Time, o Options) Fig8Result {
+	rec := o.Recorder
 	net, eng := microNet(9, 11, func(cfg *topo.Config) {
 		cfg.HostRate = 10 * netsim.Gbps
-	})
-	if rec != nil {
-		net.Observe(rec)
-		if rec.Series != nil {
-			rec.Series.ReserveUntil(8 * interval)
-		}
+	}, o)
+	if rec != nil && rec.Series != nil {
+		rec.Series.ReserveUntil(8 * interval)
 	}
 	recv := 8
 	base := net.Topo.BaseRTT(0, recv)
@@ -349,10 +350,10 @@ type Fig9Result struct {
 // W_AI inflated to ~5x the recommended value (0.75 KB) and W_LS of half
 // the base BDP. PrioPlus's cardinality estimation contains the delay;
 // Swift's fluctuations repeatedly exceed the threshold. 10 Gb/s links.
-func Fig9(usePrioPlus bool) Fig9Result {
+func Fig9(usePrioPlus bool, o Options) Fig9Result {
 	net, eng := microNet(6, 13, func(cfg *topo.Config) {
 		cfg.HostRate = 10 * netsim.Gbps
-	})
+	}, o)
 	recv := 5
 	base := net.Topo.BaseRTT(0, recv)
 	// The paper's testbed uses priority 6 (1-indexed): target base+24 us,
@@ -402,20 +403,15 @@ type Fig10bResult struct {
 }
 
 // Fig10b starts n same-priority PrioPlus flows simultaneously (incast)
-// with D_target = base+20us and measures delay containment.
-func Fig10b(n int) Fig10bResult { return Fig10bObs(n, nil) }
-
-// Fig10bObs is Fig10b with an optional observability recorder attached to
-// the run (time series, histograms, trace — whatever rec enables). The
-// instrumented run produces identical figure output: the sampler and
-// histograms only read simulator state.
-func Fig10bObs(n int, rec *obs.Recorder) Fig10bResult {
-	net, eng := microNet(n+2, 17, nil)
-	if rec != nil {
-		net.Observe(rec)
-		if rec.Series != nil {
-			rec.Series.ReserveUntil(4 * sim.Millisecond)
-		}
+// with D_target = base+20us and measures delay containment. An Options
+// recorder instruments the run (time series, histograms, trace — whatever
+// it enables) without changing figure output: the sampler and histograms
+// only read simulator state.
+func Fig10b(n int, o Options) Fig10bResult {
+	rec := o.Recorder
+	net, eng := microNet(n+2, 17, nil, o)
+	if rec != nil && rec.Series != nil {
+		rec.Series.ReserveUntil(4 * sim.Millisecond)
 	}
 	recv := n + 1
 	base := net.Topo.BaseRTT(0, recv)
@@ -471,7 +467,7 @@ type TakeoverStats struct {
 // with dual-RTT gating on and off.
 func Fig10c() Fig10cResult {
 	run := func(everyRTT bool) TakeoverStats {
-		net, eng := microNet(21, 19, nil)
+		net, eng := microNet(21, 19, nil, Options{})
 		recv := 20
 		base := net.Topo.BaseRTT(0, recv)
 		plan := core.DefaultPlan(base)
@@ -537,9 +533,8 @@ func Fig10d(scales []float64, widthsUS []float64) []Fig10dPoint {
 			cfg := topo.DefaultConfig()
 			cfg.LinkDelay = 3 * sim.Microsecond
 			cfg.Seed = 21
-			net := harness.New(topo.Star(eng, 7, cfg), 21)
 			nm := noise.NewLongTail(rand.New(rand.NewSource(29)), sc)
-			net.SetNoise(nm.Sample)
+			net := harness.New(topo.Star(eng, 7, cfg), 21, harness.WithNoise(nm.Sample))
 			recv := 6
 			base := net.Topo.BaseRTT(0, recv)
 			plan := core.ChannelPlan{
@@ -567,8 +562,8 @@ func Fig10d(scales []float64, widthsUS []float64) []Fig10dPoint {
 
 // Fig10a runs the 8-priority, 30-flows-each staggered ladder and returns
 // the per-interval dominance of the newest priority.
-func Fig10a(perPrio int, interval sim.Time) []float64 {
-	net, eng := microNet(8*perPrio+2, 23, nil)
+func Fig10a(perPrio int, interval sim.Time, o Options) []float64 {
+	net, eng := microNet(8*perPrio+2, 23, nil, o)
 	recv := 8 * perPrio
 	base := net.Topo.BaseRTT(0, recv)
 	plan := core.DefaultPlan(base)
@@ -725,11 +720,15 @@ type Table2Row struct {
 // strategies).
 func Table2() []Table2Row {
 	simulate := func(kind string) float64 {
-		net, eng := microNet(4, 41, nil)
 		// The Table 2 analysis is an idealized start-transient argument;
 		// measurement noise would blur the freeze threshold, so this
-		// scenario runs noise-free.
-		net.SetNoise(nil)
+		// scenario builds the micro star directly, without the noise model
+		// microNet installs.
+		eng := sim.NewEngine()
+		cfg := topo.DefaultConfig()
+		cfg.LinkDelay = 3 * sim.Microsecond
+		cfg.Seed = 41
+		net := harness.New(topo.Star(eng, 4, cfg), 41)
 		recv := 3
 		base := net.Topo.BaseRTT(0, recv)
 		bdp := 100e9 / 8 * base.Seconds()
@@ -865,7 +864,7 @@ type AppDResult struct {
 func AppD(ns []int) []AppDResult {
 	var out []AppDResult
 	for _, n := range ns {
-		net, eng := microNet(n+2, 43, nil)
+		net, eng := microNet(n+2, 43, nil, Options{})
 		recv := n + 1
 		base := net.Topo.BaseRTT(0, recv)
 		var scfg cc.SwiftConfig

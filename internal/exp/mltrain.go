@@ -3,6 +3,7 @@ package exp
 import (
 	"math/rand"
 
+	"prioplus/internal/fault"
 	"prioplus/internal/harness"
 	"prioplus/internal/netsim"
 	"prioplus/internal/noise"
@@ -25,6 +26,9 @@ type MLConfig struct {
 	// simulation; relative speedups are preserved because both phases
 	// scale together.
 	GradScale int
+	// Faults, when non-nil and non-empty, is installed on the topology
+	// before training traffic starts.
+	Faults *fault.Plan
 }
 
 // DefaultMLConfig returns a 1/8-scale version of the paper's scenario.
@@ -56,10 +60,10 @@ func RunML(cfg MLConfig) MLResult {
 	tc.Buffer.TotalBytes = 32 << 20
 	cfg.Scheme.Fabric(&tc, nprios)
 	nw := topo.SpineLeaf(eng, 2, 6, 12, tc)
-	net := harness.New(nw, cfg.Seed)
-	cfg.Scheme.Post(net)
 	nm := noise.NewLongTail(rand.New(rand.NewSource(cfg.Seed+7)), 1)
-	net.SetNoise(nm.Sample)
+	opts := append(cfg.Scheme.NetOptions(),
+		harness.WithNoise(nm.Sample), harness.WithFaults(cfg.Faults))
+	net := harness.New(nw, cfg.Seed, opts...)
 
 	models := make([]workload.Model, 0, 8)
 	for i := 0; i < 4; i++ {

@@ -32,14 +32,14 @@ func TestRunFlowSchedObs(t *testing.T) {
 	}
 }
 
-// TestFig10bObsWatchdogEarlyStop: a watchdog that trips before the first
+// TestFig10bWatchdogEarlyStop: a watchdog that trips before the first
 // delay sample must yield a zero result, not a divide-by-zero panic.
-func TestFig10bObsWatchdogEarlyStop(t *testing.T) {
+func TestFig10bWatchdogEarlyStop(t *testing.T) {
 	t.Parallel()
 	rec := obs.NewRecorder()
 	rec.Watchdog = &obs.Watchdog{MaxInflightBytes: 64 << 10}
 	rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
-	res := Fig10bObs(80, rec)
+	res := Fig10b(80, Options{Recorder: rec})
 	if rec.Watchdog.Tripped() != "inflight_bytes" {
 		t.Fatalf("Tripped = %q, want inflight_bytes", rec.Watchdog.Tripped())
 	}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"prioplus/internal/fault"
+	"prioplus/internal/obs"
+)
+
+// Options bundles the cross-cutting per-run knobs every figure driver
+// accepts, replacing the old FigX/FigXObs split: one entry point per
+// figure, with instrumentation and fault plans as optional inputs. The
+// zero value reproduces the paper's plain run exactly.
+type Options struct {
+	// Seed overrides the driver's baked-in seed when non-zero. The paper
+	// figures keep their published seeds by default, so batch tooling that
+	// doesn't set Seed gets byte-identical reference output.
+	Seed int64
+	// Recorder, when non-nil, is attached to the run via harness.Observe
+	// before traffic starts, and the driver fills in CollectMetrics after
+	// the run. Instrumentation never changes figure output.
+	Recorder *obs.Recorder
+	// Faults, when non-nil and non-empty, is installed on the topology
+	// before traffic starts (harness.WithFaults).
+	Faults *fault.Plan
+}
+
+// seedOr returns the override seed when set, the driver default otherwise.
+func (o Options) seedOr(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}

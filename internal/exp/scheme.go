@@ -218,11 +218,14 @@ func (s Scheme) Fabric(cfg *topo.Config, nprios int) {
 	}
 }
 
-// Post applies post-build tweaks (INT).
-func (s Scheme) Post(n *harness.Net) {
+// NetOptions returns the harness options the scheme's hosts and fabric
+// need (INT stamping for HPCC). Pass them to harness.New.
+func (s Scheme) NetOptions() []harness.Option {
+	var opts []harness.Option
 	if s.INT {
-		n.EnableINT()
+		opts = append(opts, harness.WithINT())
 	}
+	return opts
 }
 
 // IdealFCT returns a flow's unloaded completion time on a path.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"prioplus/internal/cc"
+	"prioplus/internal/fault"
 	"prioplus/internal/netsim"
 	"prioplus/internal/sim"
 	"prioplus/internal/topo"
@@ -23,50 +24,87 @@ type Net struct {
 	// packet path allocates nothing.
 	Pool *netsim.PacketPool
 
+	// Faults is the live fault injector when the Net was built with
+	// WithFaults; nil on a healthy fabric.
+	Faults *fault.Injector
+
 	nextFlow int64
 	seed     int64
 }
 
-// New installs transport stacks on every host of the topology and wires
-// one shared packet pool through stacks and switches.
-func New(t *topo.Network, seed int64) *Net {
+// An Option configures a Net at construction time. Options replace the old
+// setter methods (SetNoise, SetAckPrioData, EnableINT): a Net's shape is
+// fixed at New, which keeps mid-run reconfiguration — a determinism hazard
+// — out of the API.
+type Option func(*Net)
+
+// WithNoise installs a delay-measurement noise source on every stack.
+func WithNoise(f func() sim.Time) Option {
+	return func(n *Net) {
+		for _, st := range n.Stacks {
+			st.Noise = f
+		}
+	}
+}
+
+// WithAckPrioData makes ACKs share the data packet's priority (the paper's
+// PrioPlus* ablation) instead of the default highest queue.
+func WithAckPrioData() Option {
+	return func(n *Net) {
+		for _, st := range n.Stacks {
+			st.AckPrioData = true
+		}
+	}
+}
+
+// WithINT turns on INT stamping on every fabric port (for HPCC).
+func WithINT() Option {
+	return func(n *Net) {
+		for _, sw := range n.Topo.Switches {
+			for _, p := range sw.Ports {
+				p.INTEnabled = true
+			}
+		}
+		for _, h := range n.Topo.Hosts {
+			h.NIC.INTEnabled = true
+		}
+	}
+}
+
+// WithFaults resolves a fault plan against the topology and schedules its
+// events on the engine; the live injector is exposed as Net.Faults. A nil
+// or empty plan is a no-op, so callers can thread an optional plan through
+// unconditionally.
+func WithFaults(plan *fault.Plan) Option {
+	return func(n *Net) {
+		if plan.Empty() {
+			return
+		}
+		n.Faults = plan.Install(n.Topo)
+	}
+}
+
+// New installs transport stacks on every host of the topology, wires one
+// shared packet pool through stacks, switches, and ports (fault drops
+// recycle through it too), then applies the options in order.
+func New(t *topo.Network, seed int64, opts ...Option) *Net {
 	n := &Net{Eng: t.Eng, Topo: t, seed: seed, Pool: netsim.NewPacketPool()}
 	for _, h := range t.Hosts {
 		st := transport.NewStack(t.Eng, h)
 		st.Pool = n.Pool
+		h.NIC.Pool = n.Pool
 		n.Stacks = append(n.Stacks, st)
 	}
 	for _, sw := range t.Switches {
 		sw.Pool = n.Pool
-	}
-	return n
-}
-
-// SetNoise installs a delay-measurement noise source on every stack.
-func (n *Net) SetNoise(f func() sim.Time) {
-	for _, st := range n.Stacks {
-		st.Noise = f
-	}
-}
-
-// SetAckPrioData makes ACKs share the data packet's priority (the paper's
-// PrioPlus* ablation) instead of the default highest queue.
-func (n *Net) SetAckPrioData() {
-	for _, st := range n.Stacks {
-		st.AckPrioData = true
-	}
-}
-
-// EnableINT turns on INT stamping on every fabric port (for HPCC).
-func (n *Net) EnableINT() {
-	for _, sw := range n.Topo.Switches {
 		for _, p := range sw.Ports {
-			p.INTEnabled = true
+			p.Pool = n.Pool
 		}
 	}
-	for _, h := range n.Topo.Hosts {
-		h.NIC.INTEnabled = true
+	for _, o := range opts {
+		o(n)
 	}
+	return n
 }
 
 // Flow describes a flow to launch.

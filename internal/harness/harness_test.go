@@ -10,11 +10,11 @@ import (
 	"prioplus/internal/topo"
 )
 
-func newNet(nHosts int) (*harness.Net, *sim.Engine) {
+func newNet(nHosts int, opts ...harness.Option) (*harness.Net, *sim.Engine) {
 	eng := sim.NewEngine()
 	cfg := topo.DefaultConfig()
 	cfg.LinkDelay = 3 * sim.Microsecond
-	return harness.New(topo.Star(eng, nHosts, cfg), 5), eng
+	return harness.New(topo.Star(eng, nHosts, cfg), 5, opts...), eng
 }
 
 func swift(net *harness.Net, src, dst int) cc.Algorithm {
@@ -100,9 +100,8 @@ func TestSampleRatesWindows(t *testing.T) {
 	}
 }
 
-func TestSetNoiseReachesAllStacks(t *testing.T) {
-	net, eng := newNet(4)
-	net.SetNoise(func() sim.Time { return 7 * sim.Microsecond })
+func TestWithNoiseReachesAllStacks(t *testing.T) {
+	net, eng := newNet(4, harness.WithNoise(func() sim.Time { return 7 * sim.Microsecond }))
 	rec := &delayRecorder{}
 	net.AddFlow(harness.Flow{Src: 1, Dst: 3, Size: 20_000, Prio: 0, Algo: rec})
 	eng.RunUntil(sim.Millisecond)

@@ -3,6 +3,7 @@ package harness
 import (
 	"strconv"
 
+	"prioplus/internal/fault"
 	"prioplus/internal/netsim"
 	"prioplus/internal/obs"
 	"prioplus/internal/sim"
@@ -95,6 +96,12 @@ func (n *Net) Observe(rec *obs.Recorder) {
 			}
 		}
 	}
+	if n.Faults != nil && rec.Faults != nil {
+		log := rec.Faults
+		n.Faults.Notify = func(ev fault.Event) {
+			log.Record(obs.FaultEvent{T: ev.T, Kind: ev.Kind, Dev: ev.Dev, Port: ev.Port})
+		}
+	}
 	n.installSampler(rec)
 }
 
@@ -145,6 +152,18 @@ func (n *Net) registerSources(ss *obs.SeriesSet) {
 			total += p.PausedQueues()
 		}
 		return float64(total)
+	})
+	// Links currently down: each downed cable counts once (both of its port
+	// ends report down, so halve the port count). Zero on a healthy fabric,
+	// with or without an injector installed.
+	ss.Add("net/links_down", "links", func() float64 {
+		down := 0
+		for _, p := range allPorts {
+			if p.IsDown() {
+				down++
+			}
+		}
+		return float64(down) / 2
 	})
 	// Per-priority occupancy across the fabric (switch egress queues only:
 	// host NICs are single-queue and would smear the per-priority signal).
@@ -240,6 +259,9 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 	bufHWM := m.Gauge("net/buffer_hwm_bytes")
 	hdrHWM := m.Gauge("net/headroom_hwm_bytes")
 	queueHWM := m.Gauge("net/queue_hwm_bytes")
+	faultDrops := m.Counter("net/fault_drops")
+	corruptDrops := m.Counter("net/corrupt_drops")
+	noRoute := m.Counter("net/no_route_drops")
 
 	collectPort := func(dev string, p *netsim.Port) {
 		prefix := "port/" + dev + ":" + itoa(p.Index) + "/"
@@ -251,6 +273,17 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 		txBytes.Add(float64(p.TxBytes))
 		pauseUS.Add(p.PausedFor.Micros())
 		queueHWM.Observe(float64(p.QueueHWM))
+		// Per-port fault counters appear only when the port actually saw
+		// fault drops, keeping the per-port namespace lean on a healthy
+		// fabric. The net/ aggregates always exist (and read zero).
+		faultDrops.Add(float64(p.FaultDrops))
+		corruptDrops.Add(float64(p.CorruptDrops))
+		if p.FaultDrops > 0 {
+			m.Counter(prefix + "fault_drops").Add(float64(p.FaultDrops))
+		}
+		if p.CorruptDrops > 0 {
+			m.Counter(prefix + "corrupt_drops").Add(float64(p.CorruptDrops))
+		}
 	}
 	for _, sw := range n.Topo.Switches {
 		prefix := "switch/" + sw.Name + "/"
@@ -261,6 +294,7 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 		m.Counter(prefix + "pfc_pauses").Add(float64(sw.PausesSent()))
 		m.Gauge(prefix + "buffer_hwm_bytes").Observe(float64(sw.BufferHWM()))
 		m.Gauge(prefix + "headroom_hwm_bytes").Observe(float64(sw.HeadroomHWM()))
+		noRoute.Add(float64(sw.NoRouteDrop))
 		drops.Add(float64(sw.Drops()))
 		dropBytes.Add(float64(sw.DropBytes()))
 		marks.Add(float64(sw.ECNMarks))

@@ -47,6 +47,7 @@ var netAggregates = []string{
 	"net/drops", "net/drop_bytes", "net/ecn_marks",
 	"net/pfc_pauses", "net/pfc_pause_us",
 	"net/buffer_hwm_bytes", "net/headroom_hwm_bytes", "net/queue_hwm_bytes",
+	"net/fault_drops", "net/corrupt_drops", "net/no_route_drops",
 }
 
 // perEntitySuffixes maps a name prefix to the metrics every entity of that

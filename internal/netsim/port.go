@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/rand"
+
 	"prioplus/internal/obs"
 	"prioplus/internal/sim"
 )
@@ -55,6 +57,46 @@ func (q *pktQueue) pop() TxItem {
 func (q *pktQueue) empty() bool { return q.head == len(q.items) }
 func (q *pktQueue) len() int    { return len(q.items) - q.head }
 
+// PortFault is the per-port fault state installed by internal/fault (or
+// directly by tests). A nil pointer — the default — keeps the delivery and
+// transmit hot paths at a single predictable branch each; the subsystem
+// costs nothing when no fault plan is installed.
+type PortFault struct {
+	// Down halts transmission and drops arriving in-flight packets; the
+	// queued backlog is dropped when SetDown flips the flag.
+	Down bool
+	// LossRate drops arriving packets at random; CorruptRate additionally
+	// models FCS-corrupted frames, counted separately and also dropped at
+	// the receiving port. Both are per-delivery probabilities in [0, 1].
+	LossRate    float64
+	CorruptRate float64
+	// Rng drives the loss/corruption draws. Seed it from the fault plan so
+	// the drop pattern is deterministic for a given (plan seed, link).
+	Rng *rand.Rand
+}
+
+// drop decides one arriving packet's fate under the port's fault state:
+// a down link or a loss draw drops silently, a corruption draw drops with
+// its own counter. It reports whether the packet was consumed (recycled).
+func (f *PortFault) drop(p *Port, pkt *Packet) bool {
+	if f.Down {
+		p.dropFault(pkt, false)
+		return true
+	}
+	if f.LossRate > 0 || f.CorruptRate > 0 {
+		v := f.Rng.Float64()
+		if v < f.LossRate {
+			p.dropFault(pkt, false)
+			return true
+		}
+		if v < f.LossRate+f.CorruptRate {
+			p.dropFault(pkt, true)
+			return true
+		}
+	}
+	return false
+}
+
 // Port is one side of a full-duplex cable. It transmits to Peer and
 // receives whatever Peer transmits. Each port owns per-priority egress
 // queues served in strict-priority order (higher index first), honoring
@@ -87,11 +129,16 @@ type Port struct {
 	// packet; install via harness.Net.Observe.
 	Trace obs.Tracer
 
+	// Pool, when non-nil, receives packets this port drops under faults,
+	// keeping faulted runs allocation-free. Installed by internal/harness.
+	Pool *PacketPool
+
 	queues    []pktQueue
 	paused    []bool
 	sending   bool
-	startTxFn func() // preallocated; avoids a closure per transmission
-	devName   string // lazily cached Owner.DeviceName() (hosts format it per call)
+	fault     *PortFault // nil until a fault plan (or test) touches the port
+	startTxFn func()     // preallocated; avoids a closure per transmission
+	devName   string     // lazily cached Owner.DeviceName() (hosts format it per call)
 
 	// Counters.
 	TxBytes   int64
@@ -100,6 +147,12 @@ type Port struct {
 	PausedFor sim.Time // cumulative time with at least one priority paused
 	pausedAt  sim.Time
 	npaused   int
+
+	// Fault counters: down/loss drops and corruption drops, with the bytes
+	// they carried. Zero unless a fault plan touches the port.
+	FaultDrops     int64
+	CorruptDrops   int64
+	FaultDropBytes int64
 }
 
 // NewPort creates a port with nqueues strict-priority egress queues.
@@ -158,10 +211,84 @@ func (p *Port) clampPrio(prio int) int {
 	return prio
 }
 
+// Fault returns the port's fault state, creating it on first use. Only
+// the fault layer and tests call this; an untouched port keeps fault nil
+// and pays a single branch per packet.
+func (p *Port) Fault() *PortFault {
+	if p.fault == nil {
+		p.fault = &PortFault{}
+	}
+	return p.fault
+}
+
+// IsDown reports whether the port is administratively down.
+func (p *Port) IsDown() bool { return p.fault != nil && p.fault.Down }
+
+// SetDown changes the port's link state. Going down drops the queued
+// backlog back into the pool (releasing switch buffer accounting as if the
+// packets had been transmitted) and halts the transmitter; packets already
+// in flight are dropped on arrival by the receiving port's own down check.
+// Coming back up re-arms the transmitter.
+func (p *Port) SetDown(down bool) {
+	f := p.Fault()
+	if f.Down == down {
+		return
+	}
+	f.Down = down
+	if !down {
+		if !p.sending {
+			p.startTx()
+		}
+		return
+	}
+	p.dropQueued()
+}
+
+// dropQueued drops every queued packet back into the pool, with switch
+// buffer accounting released as if each had been transmitted.
+func (p *Port) dropQueued() {
+	for q := range p.queues {
+		for !p.queues[q].empty() {
+			it := p.queues[q].pop()
+			if it.Sw != nil {
+				it.Sw.releaseItem(it)
+			}
+			p.dropFault(it.Pkt, false)
+		}
+	}
+}
+
+// dropFault counts and recycles a packet dropped by the fault layer.
+func (p *Port) dropFault(pkt *Packet, corrupt bool) {
+	if corrupt {
+		p.CorruptDrops++
+	} else {
+		p.FaultDrops++
+	}
+	p.FaultDropBytes += int64(pkt.Wire)
+	if p.Trace != nil {
+		p.Trace.Trace(obs.Event{
+			T: p.Eng.Now(), Kind: obs.Drop,
+			Dev: p.name(), Port: p.Index,
+			Flow: pkt.FlowID, Seq: pkt.Seq, Bytes: pkt.Wire,
+		})
+	}
+	p.Pool.Put(pkt)
+}
+
 // Enqueue places a packet on the egress queue for its priority and starts
 // the transmitter if idle.
 func (p *Port) Enqueue(it TxItem) {
 	checkLive(it.Pkt, "Port.Enqueue")
+	if p.fault != nil && p.fault.Down {
+		// A dead port refuses new work outright: the buffer charge just
+		// taken by the owning switch is released and the packet recycled.
+		if it.Sw != nil {
+			it.Sw.releaseItem(it)
+		}
+		p.dropFault(it.Pkt, false)
+		return
+	}
 	q := p.clampPrio(it.Pkt.Prio)
 	p.queues[q].push(it)
 	if it.Pkt.Traced {
@@ -224,6 +351,10 @@ func (p *Port) Paused(prio int) bool { return p.paused[p.clampPrio(prio)] }
 func (p *Port) PausedQueues() int { return p.npaused }
 
 func (p *Port) startTx() {
+	if p.fault != nil && p.fault.Down {
+		p.sending = false
+		return
+	}
 	// Strict priority: highest-index unpaused non-empty queue first.
 	for q := len(p.queues) - 1; q >= 0; q-- {
 		if p.paused[q] || p.queues[q].empty() {
@@ -289,10 +420,19 @@ func (p *Port) transmit(it TxItem, q int) {
 }
 
 // deliverPacket is the preallocated Post2 target for packet arrival at the
-// far end of a cable: a is the receiving *Port, b the *Packet.
+// far end of a cable: a is the receiving *Port, b the *Packet. Delivery
+// events cannot be cancelled per-packet (the heap is lazy-cancel only), so
+// link faults are applied here: a downed or impaired receiving port
+// consumes the packet instead of handing it to the device. The fault layer
+// downs both ends of a cable, so in-flight packets of a flapped link are
+// lost in both directions.
 func deliverPacket(a, b any) {
 	in := a.(*Port)
-	in.Owner.HandlePacket(b.(*Packet), in)
+	pkt := b.(*Packet)
+	if in.fault != nil && in.fault.drop(in, pkt) {
+		return
+	}
+	in.Owner.HandlePacket(pkt, in)
 }
 
 // deliverPause is the preallocated Post2 target for PFC frame arrival: a

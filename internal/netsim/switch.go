@@ -31,6 +31,12 @@ type Switch struct {
 	// just leaves dropped packets to the GC.
 	Pool *PacketPool
 
+	// AllowNoRoute turns the no-route invariant panic into a counted drop.
+	// The fault layer sets it when a plan is installed: link failures can
+	// legitimately partition a destination, and packets already in flight
+	// toward the partition must die quietly, not crash the run.
+	AllowNoRoute bool
+
 	buf *sharedBuffer
 	rng *rand.Rand
 
@@ -108,9 +114,23 @@ func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 	ports, ok := s.Routes[pkt.Dst]
 	if !ok || len(ports) == 0 {
 		s.NoRouteDrop++
-		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.Name, pkt.Dst))
+		if !s.AllowNoRoute {
+			panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.Name, pkt.Dst))
+		}
+		s.Pool.Put(pkt)
+		return
 	}
 	out := s.Ports[ports[int(pkt.Hash)%len(ports)]]
+	if out.fault != nil && out.fault.Down {
+		// ECMP next-hop exclusion: re-hash over the live subset so flows
+		// route around a downed link without waiting for the control plane.
+		out = s.liveNextHop(ports, int(pkt.Hash))
+		if out == nil {
+			s.NoRouteDrop++
+			s.Pool.Put(pkt)
+			return
+		}
+	}
 	prio := out.clampPrio(pkt.Prio)
 	inPort := in.Index
 	size := pkt.Wire
@@ -169,6 +189,37 @@ func (s *Switch) traceDrop(pkt *Packet, out *Port, prio int) {
 		Flow: pkt.FlowID, Seq: pkt.Seq,
 		Bytes: pkt.Wire, QLen: out.QueueBytes(prio),
 	})
+}
+
+// liveNextHop scans the ECMP set from the hashed candidate onward and
+// returns the first port whose link is up, or nil when every next hop is
+// down. The scan order is a pure function of (hash, set), so re-routing is
+// deterministic.
+func (s *Switch) liveNextHop(ports []int32, hash int) *Port {
+	n := len(ports)
+	start := hash % n
+	for i := 1; i < n; i++ {
+		p := s.Ports[ports[(start+i)%n]]
+		if !p.IsDown() {
+			return p
+		}
+	}
+	return nil
+}
+
+// Reboot models an instantaneous switch restart: every egress queue is
+// drained (packets recycled into the pool, shared-buffer accounting
+// released, with PFC resumes sent upstream as ingress classes empty) and
+// any pause state received from downstream is forgotten. Packets in flight
+// toward the switch are admitted fresh on arrival. Dropped packets count
+// as fault drops on their egress port.
+func (s *Switch) Reboot() {
+	for _, p := range s.Ports {
+		p.dropQueued()
+		for q := 0; q < p.NumQueues(); q++ {
+			p.SetPaused(q, false)
+		}
+	}
 }
 
 // releaseItem returns a departing packet's bytes to the shared buffer and

@@ -21,6 +21,7 @@ import (
 //	{"type":"sample","i":0,"t_us":...,"v":[...]}          // one per tick
 //	{"type":"hist","name":...,"unit":...,"count":...,...}  // one per histogram
 //	{"type":"metric","name":...,"v":...}                   // one per metric
+//	{"type":"fault","t_us":...,"kind":...,"dev":...,"port":N} // one per fault event
 //	{"type":"flow","flow":...,"spans":N,"dropped":D}       // one per traced flow
 //	{"type":"span","flow":...,"t_us":...,"kind":...,...}   // one per span
 //
@@ -35,7 +36,16 @@ type Artifact struct {
 	Series     []ArtifactSeries
 	Hists      []ArtifactHist
 	Metrics    []ArtifactMetric
+	Faults     []ArtifactFault
 	Flows      []ArtifactFlow
+}
+
+// ArtifactFault is one executed fault event (link flap edge or reboot).
+type ArtifactFault struct {
+	TUS  float64
+	Kind string
+	Dev  string
+	Port int
 }
 
 // ArtifactSeries is one reconstructed time-series column.
@@ -103,6 +113,7 @@ type artifactLine struct {
 	Seq        int64            `json:"seq,omitempty"`
 	DelayUS    float64          `json:"delay_us,omitempty"`
 	Dev        string           `json:"dev,omitempty"`
+	Port       int              `json:"port,omitempty"`
 	A          float64          `json:"a,omitempty"`
 	B          float64          `json:"b,omitempty"`
 }
@@ -152,6 +163,17 @@ func WriteArtifact(w io.Writer, run string, rec *Recorder) error {
 		for _, name := range rec.Metrics.Names() {
 			v, _ := rec.Metrics.Value(name)
 			if err := enc.Encode(artifactLine{Type: "metric", Metric: &ArtifactMetric{Name: name, V: v}}); err != nil {
+				return err
+			}
+		}
+	}
+	if rec.Faults != nil {
+		for _, ev := range rec.Faults.Events {
+			line := artifactLine{
+				Type: "fault", TUS: ev.T.Micros(),
+				Kind: ev.Kind, Dev: ev.Dev, Port: ev.Port,
+			}
+			if err := enc.Encode(line); err != nil {
 				return err
 			}
 		}
@@ -239,6 +261,10 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 			if line.Metric != nil {
 				art.Metrics = append(art.Metrics, *line.Metric)
 			}
+		case "fault":
+			art.Faults = append(art.Faults, ArtifactFault{
+				TUS: line.TUS, Kind: line.Kind, Dev: line.Dev, Port: line.Port,
+			})
 		case "flow":
 			art.Flows = append(art.Flows, ArtifactFlow{ID: line.Flow, Dropped: line.Dropped})
 			if line.Spans > 0 {

@@ -1,0 +1,22 @@
+package obs
+
+import "prioplus/internal/sim"
+
+// FaultEvent is one executed fault action (link down/up, switch reboot),
+// as recorded by the fault injector via harness.Net.Observe.
+type FaultEvent struct {
+	T    sim.Time
+	Kind string // "link_down", "link_up", "reboot"
+	Dev  string
+	Port int // -1 for reboot
+}
+
+// FaultLog accumulates the run's fault events in firing order. Fault
+// events are rare (a handful per run, not per packet), so the log is a
+// plain slice with no ring or sampling.
+type FaultLog struct {
+	Events []FaultEvent
+}
+
+// Record appends one event.
+func (l *FaultLog) Record(ev FaultEvent) { l.Events = append(l.Events, ev) }

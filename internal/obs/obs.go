@@ -161,11 +161,15 @@ type Recorder struct {
 	// harness.Net.Observe on the transport stacks and, via SwitchTracer, in
 	// front of the switch trace hook.
 	FlowTrace *FlowTracer
+	// Faults accumulates executed fault events (link flaps, reboots).
+	// Always present — fault events are rare, so unlike the sampling
+	// instruments there is nothing to disable.
+	Faults *FaultLog
 }
 
 // NewRecorder returns a recorder with an empty registry and no trace sink.
 func NewRecorder() *Recorder {
-	return &Recorder{Metrics: NewRegistry()}
+	return &Recorder{Metrics: NewRegistry(), Faults: &FaultLog{}}
 }
 
 // Tracer resolves the trace sink the simulator hooks should see: the

@@ -102,8 +102,18 @@ func (n *Network) deviceIndex(d netsim.Device) int {
 	panic("topo: unknown device")
 }
 
+// RecomputeRoutes rebuilds every switch's ECMP table from the current link
+// state, skipping links with a downed end. This is the control-plane half
+// of failure handling: the fault layer calls it on every link event so
+// traffic converges onto surviving paths; between the event and the
+// recompute, switches re-hash locally around downed next hops. Stale
+// entries for now-unreachable destinations are removed.
+func (n *Network) RecomputeRoutes() {
+	n.computeRoutes()
+}
+
 // computeRoutes runs a BFS from every host and installs ECMP next-hop sets
-// on every switch.
+// on every switch. Links with a downed end are treated as absent.
 func (n *Network) computeRoutes() {
 	nh := len(n.Hosts)
 	total := nh + len(n.Switches)
@@ -130,6 +140,9 @@ func (n *Network) computeRoutes() {
 			if p.Peer == nil {
 				panic(fmt.Sprintf("topo: switch %s port %d unwired", sw.Name, pi))
 			}
+			if p.IsDown() || p.Peer.IsDown() {
+				continue
+			}
 			adj[si] = append(adj[si], edge{peer: nodeOf(p.Peer.Owner), port: int32(pi)})
 		}
 	}
@@ -137,6 +150,9 @@ func (n *Network) computeRoutes() {
 	for _, h := range n.Hosts {
 		if h.NIC.Peer == nil {
 			panic(fmt.Sprintf("topo: host %d unwired", h.ID))
+		}
+		if h.NIC.IsDown() || h.NIC.Peer.IsDown() {
+			continue
 		}
 		adj[h.ID] = append(adj[h.ID], edge{peer: nodeOf(h.NIC.Peer.Owner)})
 	}
@@ -162,6 +178,10 @@ func (n *Network) computeRoutes() {
 		for i, sw := range n.Switches {
 			si := nh + i
 			if dist[si] < 0 {
+				// Unreachable (possibly partitioned by downed links): drop
+				// any stale entry so forwarding fails fast instead of
+				// spraying into a black hole.
+				delete(sw.Routes, dst)
 				continue
 			}
 			var ports []int32
@@ -172,6 +192,8 @@ func (n *Network) computeRoutes() {
 			}
 			if len(ports) > 0 {
 				sw.Routes[dst] = ports
+			} else {
+				delete(sw.Routes, dst)
 			}
 		}
 	}

@@ -15,10 +15,11 @@ import (
 // transport stack on each, one shared packet pool — the smallest setting
 // in which the full data->ACK round trip runs.
 type pathRig struct {
-	eng  *sim.Engine
-	pool *netsim.PacketPool
-	a, b *transport.Stack
-	base sim.Time
+	eng    *sim.Engine
+	pool   *netsim.PacketPool
+	ha, hb *netsim.Host
+	a, b   *transport.Stack
+	base   sim.Time
 }
 
 func newPathRig() *pathRig {
@@ -33,7 +34,7 @@ func newPathRig() *pathRig {
 	sb.Pool = pool
 	// One propagation + serialization each way.
 	base := 2 * (sim.Microsecond + (100 * netsim.Gbps).Serialize(netsim.DefaultMTU+netsim.HeaderBytes))
-	return &pathRig{eng: eng, pool: pool, a: sa, b: sb, base: base}
+	return &pathRig{eng: eng, pool: pool, ha: ha, hb: hb, a: sa, b: sb, base: base}
 }
 
 func (r *pathRig) flow(id, size int64) *transport.Sender {
@@ -82,11 +83,13 @@ func TestPooledFlowDeliversEverything(t *testing.T) {
 	}
 }
 
-// TestPacketPathZeroAllocTracerOff pins the tracing-off cost of the causal
-// flow tracer at zero: with the hooks compiled in, the steady-state packet
-// path (emit, serialize, deliver, ACK, CC hook, recycle) must not allocate
-// — neither with no tracer installed, nor with a FlowTracer installed whose
-// sampling policy skipped the flow (nil FlowLog, the common case).
+// TestPacketPathZeroAllocTracerOff pins the instrumentation-off cost of
+// the packet path at zero: with the hooks compiled in, the steady-state
+// packet path (emit, serialize, deliver, ACK, CC hook, recycle) must not
+// allocate — with no tracer installed, with a FlowTracer installed whose
+// sampling policy skipped the flow (nil FlowLog, the common case), and
+// with fault hooks armed on both NICs but no impairment active (link up,
+// zero loss and corruption rates).
 func TestPacketPathZeroAllocTracerOff(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -101,6 +104,12 @@ func TestPacketPathZeroAllocTracerOff(t *testing.T) {
 			}
 			r.a.FlowTrace = ft
 			r.b.FlowTrace = ft
+		}},
+		{"fault-armed-quiescent", func(r *pathRig) {
+			// Materializes the PortFault so every delivery takes the
+			// fault branch, which must decline without allocating.
+			r.ha.NIC.Fault()
+			r.hb.NIC.Fault()
 		}},
 	}
 	for _, tc := range cases {

@@ -30,8 +30,7 @@ func TestAckPrioDefaultHighest(t *testing.T) {
 
 func TestAckPrioDataVariant(t *testing.T) {
 	// The PrioPlus* ablation: ACKs ride at the data packet's priority.
-	net, eng := newStar(3)
-	net.SetAckPrioData()
+	net, eng := newStar(3, harness.WithAckPrioData())
 	var ackPrio = -1
 	inner := net.Topo.Hosts[0].Sink
 	net.Topo.Hosts[0].Sink = func(pkt *netsim.Packet) {

@@ -19,9 +19,9 @@ func microCfg() topo.Config {
 	return cfg
 }
 
-func newStar(nHosts int) (*harness.Net, *sim.Engine) {
+func newStar(nHosts int, opts ...harness.Option) (*harness.Net, *sim.Engine) {
 	eng := sim.NewEngine()
-	net := harness.New(topo.Star(eng, nHosts, microCfg()), 7)
+	net := harness.New(topo.Star(eng, nHosts, microCfg()), 7, opts...)
 	return net, eng
 }
 
@@ -245,8 +245,7 @@ func (p *probeOnce) WantsECT() bool { return false }
 func (p *probeOnce) Name() string   { return "probeonce" }
 
 func TestMeasurementNoiseApplied(t *testing.T) {
-	net, eng := newStar(3)
-	net.SetNoise(func() sim.Time { return 5 * sim.Microsecond })
+	net, eng := newStar(3, harness.WithNoise(func() sim.Time { return 5 * sim.Microsecond }))
 	fw := &delayRecorder{}
 	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 10000, Prio: 0, Algo: fw})
 	eng.RunUntil(sim.Millisecond)
