@@ -42,6 +42,7 @@ type LinkRef struct {
 	Peer string
 }
 
+// String renders the link as "device[port]" for artifacts and errors.
 func (l LinkRef) String() string {
 	if l.Peer != "" {
 		return l.Dev + "->" + l.Peer

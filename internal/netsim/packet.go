@@ -58,6 +58,7 @@ const (
 	ProbeAck
 )
 
+// String returns the packet type's short name (data, ack, probe, probe-ack).
 func (t PacketType) String() string {
 	switch t {
 	case Data:
@@ -120,9 +121,9 @@ type Packet struct {
 	// obs.FlowTracer: every egress port appends a trace INTRecord (Dev set)
 	// at dequeue. Set by the transport on a sampled subset of a traced
 	// flow's packets; false everywhere else, costing one branch per hop.
-	Traced  bool
-	Hash    uint32
-	INT     []INTRecord
+	Traced bool
+	Hash   uint32
+	INT    []INTRecord
 
 	// hopEnqAt is the enqueue timestamp at the current hop, consumed at
 	// dequeue to compute the trace records' QWait. Only maintained for

@@ -118,6 +118,7 @@ var spanKindByName = func() map[string]SpanKind {
 	return m
 }()
 
+// String returns the span kind's artifact label (hop, deliver, yield, ...).
 func (k SpanKind) String() string {
 	if n, ok := spanKindNames[k]; ok {
 		return n

@@ -26,6 +26,7 @@ const (
 
 var kindNames = [...]string{"enq", "deq", "drop", "mark", "pause", "resume", "fct"}
 
+// String returns the trace record kind's artifact label (enq, deq, drop, ...).
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]

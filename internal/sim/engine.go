@@ -15,8 +15,8 @@ var totalProcessed atomic.Uint64
 // compute an events/sec rate.
 func TotalProcessed() uint64 { return totalProcessed.Load() }
 
-// Event states. An event is pending from scheduling until it pops off the
-// heap; popping moves it to fired (executed) or lets a canceled event drain.
+// Event states. An event is pending from scheduling until it is dispatched;
+// dispatch moves it to fired (executed) or lets a canceled event drain.
 const (
 	evPending uint8 = iota
 	evFired
@@ -49,8 +49,8 @@ func (e *Event) At() Time { return e.at }
 // still pending.
 func (e *Event) Canceled() bool { return e.state == evCanceled }
 
-// entry is one heap slot. The ordering key lives in the entry itself so
-// heap compares never chase the Event pointer.
+// entry is one queue slot. The ordering key lives in the entry itself so
+// comparisons never chase the Event pointer.
 type entry struct {
 	at  Time
 	seq uint64
@@ -67,17 +67,35 @@ func (a entry) less(b entry) bool {
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // not usable; create one with NewEngine.
 //
-// Cancellation is lazy: Cancel marks the event and the heap drops it when
-// it reaches the top (or at the next compaction), so Cancel is O(1) and the
-// heap needs no per-event index bookkeeping.
+// The event queue is a hierarchical timing wheel (see wheel.go): O(1)
+// insertion for the short-horizon events that dominate the simulator,
+// strict (time, seq) dispatch order restored by a small per-slot heap, and
+// a far-future overflow heap so any timestamp schedules. Same-timestamp
+// events are dispatched as one batch without re-consulting the queue
+// between callbacks.
+//
+// Cancellation is lazy: Cancel marks the event and the queue drops it when
+// its slot drains (or at the next compaction), so Cancel is O(1) and no
+// structure needs per-event index bookkeeping.
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    []entry // binary min-heap ordered by (at, seq)
-	ncanceled int     // canceled entries still occupying heap slots
 	stopped   bool
 	processed uint64
 	free      []*Event // recycled fired/canceled events
+
+	// Event queue: hierarchical timing wheel + due/overflow heaps
+	// (wheel.go). due holds every event at or behind the cursor's current
+	// level-0 slot in (time, seq) order; batch is the same-timestamp
+	// dispatch buffer, reused across batches.
+	due       entryHeap
+	overflow  entryHeap
+	levels    [numLevels]wheelLevel
+	wheelTick uint64 // absolute level-0 slot number of the wheel cursor
+	nwheel    int    // entries resident in wheel slots (canceled included)
+	batch     []entry
+	npending  int // scheduled, not yet fired or canceled
+	ncanceled int // canceled entries still occupying queue slots
 
 	// Clock-driven sampler (SetSampler). sampleAt is the next sampling
 	// instant, maxTime when disabled, so the hot loop pays one always-false
@@ -92,7 +110,11 @@ type Engine struct {
 const maxTime = Time(1<<63 - 1)
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{sampleAt: maxTime} }
+func NewEngine() *Engine {
+	e := &Engine{sampleAt: maxTime}
+	e.initWheel()
+	return e
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -102,10 +124,10 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled (canceled
 // events awaiting lazy removal are not counted).
-func (e *Engine) Pending() int { return len(e.events) - e.ncanceled }
+func (e *Engine) Pending() int { return e.npending }
 
-// schedule allocates (or recycles) an event at absolute time t and pushes
-// its heap entry.
+// schedule allocates (or recycles) an event at absolute time t and files
+// its queue entry.
 func (e *Engine) schedule(t Time) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
@@ -118,13 +140,14 @@ func (e *Engine) schedule(t Time) *Event {
 	ev.at = t
 	ev.seq = e.seq
 	ev.state = evPending
-	e.push(entry{at: t, seq: e.seq, ev: ev})
+	e.place(entry{at: t, seq: e.seq, ev: ev})
 	e.seq++
+	e.npending++
 	return ev
 }
 
-// recycle returns a popped event to the free list, clearing anything it
-// could pin.
+// recycle returns a dispatched event to the free list, clearing anything
+// it could pin.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.fn2 = nil
@@ -178,42 +201,21 @@ func (e *Engine) Post2(d Time, fn func(a, b any), a, b any) {
 	ev.a0, ev.a1 = a, b
 }
 
-// Cancel removes ev from the schedule in O(1) by marking it; the heap slot
-// is reclaimed lazily. Canceling an already-fired or already-canceled event
-// is a no-op.
+// Cancel removes ev from the schedule in O(1) by marking it; the queue
+// slot is reclaimed lazily. Canceling an already-fired or already-canceled
+// event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.state != evPending {
 		return
 	}
 	ev.state = evCanceled
 	e.ncanceled++
-	// If canceled entries dominate the heap (e.g. a pathological
+	e.npending--
+	// If canceled entries dominate the queue (e.g. a pathological
 	// cancel/re-schedule loop with far-future deadlines), compact so memory
 	// stays proportional to the live event count. Amortized O(1) per Cancel.
-	if e.ncanceled > 64 && e.ncanceled*2 > len(e.events) {
+	if e.ncanceled > 64 && e.ncanceled*2 > e.queuedEntries() {
 		e.compact()
-	}
-}
-
-// compact rebuilds the heap without canceled entries, recycling their
-// events.
-func (e *Engine) compact() {
-	kept := e.events[:0]
-	for _, ent := range e.events {
-		if ent.ev.state == evCanceled {
-			e.recycle(ent.ev)
-			continue
-		}
-		kept = append(kept, ent)
-	}
-	// Zero the tail so dropped entries don't pin events.
-	for i := len(kept); i < len(e.events); i++ {
-		e.events[i] = entry{}
-	}
-	e.events = kept
-	e.ncanceled = 0
-	for i := len(e.events)/2 - 1; i >= 0; i-- {
-		e.siftDown(i)
 	}
 }
 
@@ -221,7 +223,7 @@ func (e *Engine) compact() {
 // of simulated time, starting at Now()+every, interleaved deterministically
 // with the event stream — all events with timestamps <= a sampling instant
 // execute before the sample is taken, so fn observes the state "just after"
-// that instant. The hook consumes no heap events: RunUntil fires it by
+// that instant. The hook consumes no queue events: RunUntil fires it by
 // comparing the next event's timestamp against the sampling deadline, and
 // drains any remaining instants up to the horizon before returning.
 //
@@ -240,7 +242,8 @@ func (e *Engine) SetSampler(every Time, fn func()) {
 }
 
 // Stop makes the current Run or RunUntil return after the executing event
-// completes.
+// completes. Any same-timestamp events batched with the executing one stay
+// pending and dispatch on the next run.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the schedule is empty or Stop is called.
@@ -252,19 +255,19 @@ func (e *Engine) RunUntil(end Time) {
 	start := e.processed
 	defer func() { totalProcessed.Add(e.processed - start) }()
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		top := e.events[0]
+	for !e.stopped && e.refillDue() {
+		top := e.due[0]
 		if top.ev.state == evCanceled {
 			// Lazy deletion: drain without advancing the clock or the
 			// processed count.
-			e.popTop()
+			e.due.pop()
 			e.ncanceled--
 			e.recycle(top.ev)
 			continue
 		}
 		if top.at > e.sampleAt && e.sampleAt <= end {
 			// A sampling instant falls strictly before the next event: take
-			// the sample, then re-read the heap top (the hook may Stop or
+			// the sample, then re-read the queue (the hook may Stop or
 			// Cancel). Strict ordering means events AT the instant ran first.
 			e.now = e.sampleAt
 			e.sampleAt += e.sampleEvery
@@ -274,20 +277,7 @@ func (e *Engine) RunUntil(end Time) {
 		if top.at > end {
 			break
 		}
-		e.popTop()
-		e.now = top.at
-		e.processed++
-		ev := top.ev
-		// Copy the payload out before recycling: the callback may schedule
-		// new events, which can reuse this very object.
-		fn, fn2, a0, a1 := ev.fn, ev.fn2, ev.a0, ev.a1
-		ev.state = evFired
-		e.recycle(ev)
-		if fn2 != nil {
-			fn2(a0, a1)
-		} else {
-			fn()
-		}
+		e.runBatch(top.at)
 	}
 	// Drain sampling instants between the last event and the horizon. Only
 	// for a finite horizon: Run() must still terminate on an empty schedule.
@@ -303,54 +293,47 @@ func (e *Engine) RunUntil(end Time) {
 	}
 }
 
-// --- hand-rolled binary heap on value entries ---
-
-func (e *Engine) push(ent entry) {
-	e.events = append(e.events, ent)
-	e.siftUp(len(e.events) - 1)
-}
-
-func (e *Engine) popTop() {
-	n := len(e.events) - 1
-	e.events[0] = e.events[n]
-	e.events[n] = entry{}
-	e.events = e.events[:n]
-	if n > 0 {
-		e.siftDown(0)
+// runBatch dispatches every event scheduled at exactly time at in one
+// pass: the whole batch is popped off the due heap up front (in seq order
+// — the heap yields equal-timestamp entries FIFO), then dispatched without
+// re-consulting the queue between callbacks. Events a callback schedules
+// at the same timestamp carry higher seqs and fire right after the batch;
+// a callback canceling a later batch member takes effect because each
+// member's state is checked at dispatch. On Stop, the undispatched
+// remainder is pushed back so a later run resumes exactly where this one
+// ended.
+func (e *Engine) runBatch(at Time) {
+	b := e.batch[:0]
+	for len(e.due) > 0 && e.due[0].at == at {
+		b = append(b, e.due.pop())
 	}
-}
-
-func (e *Engine) siftUp(i int) {
-	h := e.events
-	ent := h[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !ent.less(h[parent]) {
+	e.batch = b
+	e.now = at
+	for i, ent := range b {
+		ev := ent.ev
+		if ev.state == evCanceled {
+			e.ncanceled--
+			e.recycle(ev)
+			continue
+		}
+		e.processed++
+		e.npending--
+		// Copy the payload out before recycling: the callback may schedule
+		// new events, which can reuse this very object.
+		fn, fn2, a0, a1 := ev.fn, ev.fn2, ev.a0, ev.a1
+		ev.state = evFired
+		e.recycle(ev)
+		if fn2 != nil {
+			fn2(a0, a1)
+		} else {
+			fn()
+		}
+		if e.stopped {
+			for _, rest := range b[i+1:] {
+				e.due.push(rest)
+			}
 			break
 		}
-		h[i] = h[parent]
-		i = parent
 	}
-	h[i] = ent
-}
-
-func (e *Engine) siftDown(i int) {
-	h := e.events
-	n := len(h)
-	ent := h[i]
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
-		}
-		if r := child + 1; r < n && h[r].less(h[child]) {
-			child = r
-		}
-		if !h[child].less(ent) {
-			break
-		}
-		h[i] = h[child]
-		i = child
-	}
-	h[i] = ent
+	e.batch = e.batch[:0]
 }

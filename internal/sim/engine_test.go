@@ -418,8 +418,8 @@ func TestCancelLoopBounded(t *testing.T) {
 	if e.Pending() != 0 {
 		t.Errorf("Pending() = %d after canceling everything, want 0", e.Pending())
 	}
-	if len(e.events) > 256 {
-		t.Errorf("heap holds %d entries after 100k cancels, want compacted (<= 256)", len(e.events))
+	if n := e.queuedEntries(); n > 256 {
+		t.Errorf("queue holds %d entries after 100k cancels, want compacted (<= 256)", n)
 	}
 	if len(e.free) > 256 {
 		t.Errorf("free list holds %d events after 100k cancels, want bounded (<= 256)", len(e.free))

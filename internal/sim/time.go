@@ -1,10 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine.
-//
-// The engine drives every other component of the simulator: network ports
-// schedule packet serialization and propagation, transports schedule pacing
-// and retransmission timers, and experiments schedule flow arrivals. Events
-// with equal timestamps execute in scheduling order, which makes every run
-// bit-for-bit reproducible for a fixed seed.
 package sim
 
 import "fmt"

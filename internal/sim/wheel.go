@@ -1,0 +1,354 @@
+package sim
+
+import "math/bits"
+
+// This file implements the engine's event queue: a hierarchical timing
+// wheel with a small "due" heap in front of it and an overflow heap behind
+// it. It replaced the single binary heap of PR 2 (kept as the reference
+// scheduler in engine_test.go) because most simulator events are
+// short-horizon — serialization completions, propagation arrivals, pacing
+// ticks — exactly the regime where O(1) slot insertion beats an O(log n)
+// sift. See docs/ARCHITECTURE.md ("Event-loop lifecycle") for the design
+// discussion and docs/PERFORMANCE.md for the measured effect.
+//
+// Layout
+//
+//	due heap   events with slot tick <= cursor: everything inside (or
+//	           behind) the current level-0 slot window, ordered by
+//	           (time, seq). This is the only structure consulted per pop,
+//	           and it only ever holds about one slot's worth of events.
+//	wheel      numLevels levels of 1<<levelBits slots. A slot is an
+//	           unordered []entry; per-level bitmaps mark occupied slots so
+//	           advancing across empty time is a TrailingZeros scan, not a
+//	           slot walk. Level 0 slots are slotWidth wide; each higher
+//	           level is 1<<levelBits times coarser.
+//	overflow   min-heap for events beyond the top level's horizon
+//	           (~35 s of simulated time). Effectively never used by the
+//	           experiments (the longest timers are millisecond RTOs), but
+//	           it makes the engine total: any int64 timestamp schedules.
+//
+// Placement discipline (no-wrap): an event is filed at the lowest level l
+// whose parent slot (level l+1) currently contains the cursor. This keeps
+// every occupied slot index strictly ahead of the cursor index at its
+// level, so level bitmaps never wrap and "next occupied slot" is a single
+// masked scan. The cost is that an event can cascade through at most
+// numLevels-1 re-files as the cursor approaches it — amortized O(1), and
+// only paid by long-horizon events (RTO timers, samplers, far-future
+// arrivals).
+//
+// Ordering guarantee: the wheel alone orders events only to slotWidth
+// granularity, so whole slots are decanted into the due heap, which
+// restores the strict (time, seq) total order before anything fires.
+// Determinism is therefore identical to the old global heap: simultaneous
+// events fire in scheduling order, and all figure outputs are
+// byte-for-byte what they were (TestEngineHeapEquivalence pins this
+// against the retained reference heap).
+
+const (
+	// slotBits sets the level-0 slot width: 1<<13 ps = 8.192 ns. Fine
+	// enough that a slot rarely holds more than a handful of events
+	// (one 1500 B packet at 100 Gb/s serializes in ~120 ns ≈ 15 slots),
+	// coarse enough that consecutive packet events usually land in the
+	// same or adjacent slots and batch-load into the due heap together.
+	slotBits = 13
+	// slotWidth is the level-0 slot span in picoseconds.
+	slotWidth = Time(1) << slotBits
+	// levelBits gives 256 slots per level; a level spans 256× its slot
+	// width: L0 ≈ 2.1 us, L1 ≈ 537 us, L2 ≈ 137 ms, L3 ≈ 35 s.
+	levelBits = 8
+	numSlots  = 1 << levelBits
+	slotMask  = numSlots - 1
+	numLevels = 4
+	// bitmapWords is the per-level occupancy bitmap size.
+	bitmapWords = numSlots / 64
+)
+
+// wheelLevel is one ring of slots plus its occupancy bitmap. Slot slices
+// are never freed: entries are moved out and the slice reset to length
+// zero, so a warm wheel inserts and drains without allocating.
+type wheelLevel struct {
+	slots  [numSlots][]entry
+	bitmap [bitmapWords]uint64
+}
+
+// slotSlabCap is the capacity pre-carved for every wheel slot at engine
+// construction. Without it, the first append into each slot allocates as
+// the cursor sweeps into virgin slots — a slow trickle that breaks the
+// steady-state zero-allocation pins (the old heap was one array that
+// reached max size and stayed). Four entries covers typical slot
+// occupancy; a busier slot grows once and keeps its capacity.
+const slotSlabCap = 4
+
+// initWheel carves every slot's initial capacity out of one backing
+// slab: a single ~100 KB allocation per engine instead of up to 1024
+// per-slot allocations spread across the run.
+func (e *Engine) initWheel() {
+	slab := make([]entry, numLevels*numSlots*slotSlabCap)
+	for l := range e.levels {
+		for j := range e.levels[l].slots {
+			e.levels[l].slots[j] = slab[:0:slotSlabCap]
+			slab = slab[slotSlabCap:]
+		}
+	}
+}
+
+// nextSlot returns the smallest occupied slot index strictly greater than
+// after, or -1. The no-wrap placement discipline guarantees occupied
+// slots never sit at or behind the cursor, so a forward scan is complete.
+func (lv *wheelLevel) nextSlot(after int) int {
+	i := after + 1
+	if i >= numSlots {
+		return -1
+	}
+	w := i >> 6
+	b := lv.bitmap[w] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+		w++
+		if w >= bitmapWords {
+			return -1
+		}
+		b = lv.bitmap[w]
+	}
+}
+
+// place files an entry into the due heap, a wheel slot, or the overflow
+// heap. The caller guarantees ent.at >= the engine clock; the wheel cursor
+// may be ahead of the clock (it advances speculatively to the next
+// occupied slot), in which case the event lands in the due heap and the
+// heap's (time, seq) order keeps it correctly interleaved.
+func (e *Engine) place(ent entry) {
+	tick := uint64(ent.at) >> slotBits
+	if tick <= e.wheelTick {
+		e.due.push(ent)
+		return
+	}
+	for l := 0; l < numLevels; l++ {
+		if tick>>uint((l+1)*levelBits) == e.wheelTick>>uint((l+1)*levelBits) {
+			// Same parent slot as the cursor: file at level l. The index
+			// is strictly ahead of the cursor's index at this level (see
+			// the no-wrap note above).
+			idx := int(tick>>uint(l*levelBits)) & slotMask
+			lv := &e.levels[l]
+			lv.slots[idx] = append(lv.slots[idx], ent)
+			lv.bitmap[idx>>6] |= 1 << (uint(idx) & 63)
+			e.nwheel++
+			return
+		}
+	}
+	e.overflow.push(ent)
+}
+
+// refillDue makes the due heap nonempty if any event exists anywhere,
+// advancing the wheel cursor (and draining the overflow heap) as needed.
+// Reports whether there is a next event.
+func (e *Engine) refillDue() bool {
+	for {
+		if len(e.due) > 0 {
+			return true
+		}
+		if e.nwheel > 0 {
+			e.advanceWheel()
+			continue
+		}
+		if len(e.overflow) > 0 {
+			e.jumpToOverflow()
+			continue
+		}
+		return false
+	}
+}
+
+// advanceWheel moves the cursor forward to the next occupied slot and
+// decants it. Events at level l always precede events at level l+1 (level
+// l covers the cursor's current parent slot; level l+1 only holds events
+// beyond it), so scanning levels lowest-first finds the earliest slot.
+func (e *Engine) advanceWheel() {
+	for l := 0; l < numLevels; l++ {
+		cur := int(e.wheelTick>>uint(l*levelBits)) & slotMask
+		j := e.levels[l].nextSlot(cur)
+		if j < 0 {
+			continue
+		}
+		// Enter slot j at level l: cursor indices below level l reset to
+		// the slot's start.
+		tickL := e.wheelTick >> uint(l*levelBits)
+		e.wheelTick = ((tickL &^ slotMask) | uint64(j)) << uint(l*levelBits)
+		e.drainSlot(l, j)
+		return
+	}
+	panic("sim: wheel occupancy count does not match bitmaps")
+}
+
+// drainSlot empties slot j of level l: canceled entries are reclaimed on
+// the spot, level-0 entries decant into the due heap, and higher-level
+// entries cascade down through place (they re-file at a lower level or in
+// the due heap, never at the same level — the cursor now sits inside
+// their parent slot).
+func (e *Engine) drainSlot(l, j int) {
+	lv := &e.levels[l]
+	s := lv.slots[j]
+	lv.slots[j] = s[:0]
+	lv.bitmap[j>>6] &^= 1 << (uint(j) & 63)
+	e.nwheel -= len(s)
+	for _, ent := range s {
+		switch {
+		case ent.ev.state == evCanceled:
+			e.ncanceled--
+			e.recycle(ent.ev)
+		case l == 0:
+			e.due.push(ent)
+		default:
+			e.place(ent)
+		}
+	}
+}
+
+// jumpToOverflow teleports the cursor to the earliest overflow event and
+// drains every overflow entry that now falls inside the top level's
+// window back through place. Only reached when the due heap and all wheel
+// levels are empty, so the jump is always forward.
+func (e *Engine) jumpToOverflow() {
+	const topShift = numLevels * levelBits
+	e.wheelTick = uint64(e.overflow[0].at) >> slotBits
+	for len(e.overflow) > 0 &&
+		uint64(e.overflow[0].at)>>slotBits>>topShift == e.wheelTick>>topShift {
+		ent := e.overflow.pop()
+		if ent.ev.state == evCanceled {
+			e.ncanceled--
+			e.recycle(ent.ev)
+			continue
+		}
+		e.place(ent)
+	}
+}
+
+// queuedEntries returns the number of entries resident in the queue
+// structures, canceled ones included (events popped into an in-flight
+// dispatch batch are not counted). It is the denominator of the
+// compaction trigger.
+func (e *Engine) queuedEntries() int {
+	return len(e.due) + e.nwheel + len(e.overflow)
+}
+
+// compact sweeps canceled entries out of every structure, recycling their
+// events, so a pathological cancel/re-schedule loop cannot hold memory
+// proportional to history. Triggered from Cancel when canceled entries
+// dominate; amortized O(1) per Cancel.
+func (e *Engine) compact() {
+	removed := 0
+	keepHeap := func(h *entryHeap) {
+		kept := (*h)[:0]
+		for _, ent := range *h {
+			if ent.ev.state == evCanceled {
+				e.recycle(ent.ev)
+				removed++
+				continue
+			}
+			kept = append(kept, ent)
+		}
+		for i := len(kept); i < len(*h); i++ {
+			(*h)[i] = entry{}
+		}
+		*h = kept
+		h.reinit()
+	}
+	keepHeap(&e.due)
+	keepHeap(&e.overflow)
+	for l := range e.levels {
+		lv := &e.levels[l]
+		for w := range lv.bitmap {
+			for bm := lv.bitmap[w]; bm != 0; bm &= bm - 1 {
+				j := w<<6 + bits.TrailingZeros64(bm)
+				s := lv.slots[j]
+				kept := s[:0]
+				for _, ent := range s {
+					if ent.ev.state == evCanceled {
+						e.recycle(ent.ev)
+						removed++
+						e.nwheel--
+						continue
+					}
+					kept = append(kept, ent)
+				}
+				for i := len(kept); i < len(s); i++ {
+					s[i] = entry{}
+				}
+				lv.slots[j] = kept
+				if len(kept) == 0 {
+					lv.bitmap[j>>6] &^= 1 << (uint(j) & 63)
+				}
+			}
+		}
+	}
+	// Canceled entries sitting in an in-flight dispatch batch are not
+	// swept here; the batch loop reclaims them, so only subtract what this
+	// sweep actually removed.
+	e.ncanceled -= removed
+}
+
+// --- entryHeap: a hand-rolled binary min-heap over (time, seq) entries ---
+//
+// Two instances exist per engine: the due heap (small — one slot window's
+// worth of events) and the overflow heap (far-future events, near-empty in
+// practice). Value entries, no interface calls, no index bookkeeping.
+
+type entryHeap []entry
+
+func (h *entryHeap) push(ent entry) {
+	*h = append(*h, ent)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ent.less(s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = ent
+}
+
+func (h *entryHeap) pop() entry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = entry{}
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		s.siftDown(0, last)
+	}
+	return top
+}
+
+// siftDown places ent at index i, restoring heap order below it.
+func (h entryHeap) siftDown(i int, ent entry) {
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].less(h[child]) {
+			child = r
+		}
+		if !h[child].less(ent) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = ent
+}
+
+// reinit re-establishes the heap property after in-place filtering.
+func (h entryHeap) reinit() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i, h[i])
+	}
+}

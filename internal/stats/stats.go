@@ -24,6 +24,7 @@ const (
 	Large                   // [6 MB, ...)
 )
 
+// String returns the paper's name for the size class (small/middle/large).
 func (c SizeClass) String() string {
 	switch c {
 	case Small:

@@ -1,0 +1,43 @@
+#!/bin/sh
+# doccheck.sh — fails CI when godoc coverage regresses.
+#
+# Two gates:
+#   1. Every package under internal/ and cmd/ must carry a package-level
+#      doc comment ("// Package <name> ...") in at least one non-test file.
+#   2. No exported top-level declaration anywhere under internal/ may lack
+#      a preceding doc comment (a cheap grep-grade approximation of
+#      revive's exported rule; it catches the common case of an exported
+#      func/type/var/const added without any comment).
+#
+# Run from the repository root: sh scripts/doccheck.sh
+set -eu
+
+fail=0
+
+for dir in internal/*/ cmd/*/; do
+    name=$(basename "$dir")
+    # Library packages document "Package <name> ..."; main packages
+    # document "Command <name> ...".
+    if ! grep -qs "^// \(Package\|Command\) $name " "$dir"*.go; then
+        echo "doccheck: package $dir has no '// Package|Command $name ...' doc comment" >&2
+        fail=1
+    fi
+done
+
+undocumented=$(find internal -name '*.go' ! -name '*_test.go' -print0 | xargs -0 awk '
+/^\/\// { prevcomment=1; next }
+/^func [A-Z]/ || /^func \([a-z]+ \*?[A-Z][A-Za-z]*\) [A-Z]/ || /^type [A-Z]/ || /^var [A-Z]/ || /^const [A-Z]/ {
+    if (!prevcomment) print FILENAME ":" FNR ": undocumented exported declaration: " $0
+}
+{ prevcomment=0 }
+')
+if [ -n "$undocumented" ]; then
+    echo "$undocumented" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "doccheck: FAIL" >&2
+    exit 1
+fi
+echo "doccheck: ok"
