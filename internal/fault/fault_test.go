@@ -73,8 +73,8 @@ func TestFlapTakesBothEndsAndReroutes(t *testing.T) {
 		t.Error("peer end of the flapped cable is still up; in-flight packets toward it would survive")
 	}
 	// Routes must already avoid the dead uplink for every destination.
-	for dst, ports := range edge.Routes {
-		for _, pi := range ports {
+	for dst := 0; dst < edge.RouteDests(); dst++ {
+		for _, pi := range edge.Route(dst) {
 			if int(pi) == downPort.Index {
 				t.Errorf("route to host %d still uses the downed uplink", dst)
 			}

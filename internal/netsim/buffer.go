@@ -1,6 +1,10 @@
 package netsim
 
-import "prioplus/internal/sim"
+import (
+	"math"
+
+	"prioplus/internal/sim"
+)
 
 // BufferConfig sizes a switch's shared packet buffer and its admission
 // policies. The defaults mirror the paper's setup: dynamic-threshold shared
@@ -82,18 +86,32 @@ func DefaultBufferConfig() BufferConfig {
 // sharedBuffer tracks switch buffer occupancy. Lossless traffic is
 // accounted per ingress (port, priority) class; each class may spill into
 // its reserved headroom after its pause threshold is crossed.
+//
+// The per-class state lives in flat arenas indexed port*nprios+prio — one
+// cache-dense array per quantity instead of a slice-of-slices — so an
+// admit/release touches one line per quantity with no pointer chase.
 type sharedBuffer struct {
 	cfg     BufferConfig
+	nprios  int // arena stride: prios per port
 	shared  int // bytes available to the shared pool
 	used    int // shared pool occupancy
 	UsedHWM int // highest shared-pool occupancy seen
 	hdrUsed int // total headroom occupancy across all ingress classes
 	HdrHWM  int // highest headroom occupancy seen
 
-	// Per ingress (port, prio) state, indexed [port][prio].
-	ingBytes [][]int
-	hdrBytes [][]int
-	paused   [][]bool
+	// Per ingress (port, prio) class state, indexed port*nprios+prio.
+	ing    []int // shared-pool + headroom bytes held by the class
+	hdr    []int // headroom bytes held by the class
+	paused []bool
+
+	// Exact integer replacements for the threshold float math, valid when
+	// the corresponding alpha is a power of two (the defaults are:
+	// PFCAlpha 1/8, DTAlpha 1). See xoff and dtExceeds for the exactness
+	// argument; pow2Exponent for the detection.
+	xoffShift int
+	xoffExact bool
+	dtShift   int
+	dtExact   bool
 
 	Drops      int64
 	DropBytes  int64
@@ -101,7 +119,7 @@ type sharedBuffer struct {
 }
 
 func newSharedBuffer(cfg BufferConfig, nports, nprios int) *sharedBuffer {
-	b := &sharedBuffer{cfg: cfg}
+	b := &sharedBuffer{cfg: cfg, nprios: nprios}
 	reserved := 0
 	if cfg.PFCEnabled && !cfg.HeadroomFree {
 		lossless := min(cfg.LosslessPrios, nprios)
@@ -111,15 +129,24 @@ func newSharedBuffer(cfg BufferConfig, nports, nprios int) *sharedBuffer {
 	if b.shared < 0 {
 		b.shared = 0
 	}
-	b.ingBytes = make([][]int, nports)
-	b.hdrBytes = make([][]int, nports)
-	b.paused = make([][]bool, nports)
-	for i := 0; i < nports; i++ {
-		b.ingBytes[i] = make([]int, nprios)
-		b.hdrBytes[i] = make([]int, nprios)
-		b.paused[i] = make([]bool, nprios)
-	}
+	b.ing = make([]int, nports*nprios)
+	b.hdr = make([]int, nports*nprios)
+	b.paused = make([]bool, nports*nprios)
+	b.xoffShift, b.xoffExact = pow2Exponent(cfg.PFCAlpha)
+	b.dtShift, b.dtExact = pow2Exponent(cfg.DTAlpha)
 	return b
+}
+
+// pow2Exponent reports whether a == 2^e exactly for some e in [-30, 30],
+// returning that e. The range bound keeps the shift arithmetic in xoff and
+// dtExceeds overflow-free for any byte count below 2^32.
+func pow2Exponent(a float64) (int, bool) {
+	for e := -30; e <= 30; e++ {
+		if a == math.Ldexp(1, e) {
+			return e, true
+		}
+	}
+	return 0, false
 }
 
 // SharedFree returns the free bytes in the shared pool.
@@ -138,9 +165,26 @@ func (b *sharedBuffer) lossless(prio int) bool {
 	return b.cfg.PFCEnabled && prio < b.cfg.LosslessPrios
 }
 
-// xoff returns the dynamic pause threshold for an ingress class.
+// xoff returns the dynamic pause threshold for an ingress class. When
+// PFCAlpha is an exact power of two (the default 1/8 is), the float
+// multiply is replaced by an integer shift that provably computes the same
+// value: alpha*float64(free) is exact for any |free| < 2^53 (both factors
+// are dyadic rationals and the product needs no rounding), and truncating
+// an exact non-negative dyadic equals free >> k. Negative free (possible
+// transiently via the PerQueueMin guarantee pushing used past shared)
+// keeps the float path, where int()'s truncation toward zero differs from
+// a shift's floor — though both land below the floor clamp regardless.
 func (b *sharedBuffer) xoff() int {
-	t := int(b.cfg.PFCAlpha * float64(b.SharedFree()))
+	var t int
+	if free := b.shared - b.used; b.xoffExact && free >= 0 {
+		if e := b.xoffShift; e >= 0 {
+			t = free << uint(e)
+		} else {
+			t = free >> uint(-e)
+		}
+	} else {
+		t = int(b.cfg.PFCAlpha * float64(free))
+	}
 	const floor = 2 * (DefaultMTU + HeaderBytes)
 	if t < floor {
 		t = floor
@@ -161,29 +205,50 @@ func (b *sharedBuffer) charge(size int) {
 // It returns whether the packet is admitted and whether a PFC pause should
 // be sent upstream.
 func (b *sharedBuffer) admitLossless(port, prio, size int) (admitted, sendPause bool) {
-	ing := b.ingBytes[port][prio] + size
-	if b.ingBytes[port][prio] <= b.xoff() && b.used+size <= b.shared {
+	i := port*b.nprios + prio
+	ing := b.ing[i] + size
+	if b.ing[i] <= b.xoff() && b.used+size <= b.shared {
 		b.charge(size)
 	} else {
 		// Over threshold (or shared pool exhausted): spill into headroom.
-		if b.hdrBytes[port][prio]+size > b.cfg.HeadroomBytes {
+		if b.hdr[i]+size > b.cfg.HeadroomBytes {
 			b.Drops++
 			b.DropBytes += int64(size)
 			return false, false
 		}
-		b.hdrBytes[port][prio] += size
+		b.hdr[i] += size
 		b.hdrUsed += size
 		if b.hdrUsed > b.HdrHWM {
 			b.HdrHWM = b.hdrUsed
 		}
 	}
-	b.ingBytes[port][prio] = ing
-	if !b.paused[port][prio] && ing > b.xoff() {
-		b.paused[port][prio] = true
+	b.ing[i] = ing
+	if !b.paused[i] && ing > b.xoff() {
+		b.paused[i] = true
 		b.PausesSent++
 		return true, true
 	}
 	return true, false
+}
+
+// dtExceeds reports whether an egress queue of q bytes exceeds the dynamic
+// threshold DTAlpha * SharedFree(). With DTAlpha == 2^e (the default 1 is
+// e == 0) the float comparison collapses to an exact integer one: both
+// floats are exact (|values| < 2^53, the product only shifts the
+// exponent), so `float64(q) > 2^e*float64(free)` is the rational
+// comparison q > free*2^e, which cross-multiplies into shifts — exact for
+// either sign of free, since q >= 0. Non-power-of-two alphas keep the
+// original float math.
+func (b *sharedBuffer) dtExceeds(q int) bool {
+	free := b.shared - b.used
+	if b.dtExact {
+		if e := b.dtShift; e >= 0 {
+			return int64(q) > int64(free)<<uint(e)
+		} else {
+			return int64(q)<<uint(-e) > int64(free)
+		}
+	}
+	return float64(q) > b.cfg.DTAlpha*float64(free)
 }
 
 // admitLossy applies dynamic-threshold admission against the egress queue
@@ -194,8 +259,7 @@ func (b *sharedBuffer) admitLossy(egressQLen, size int) bool {
 		b.charge(size)
 		return true
 	}
-	limit := b.cfg.DTAlpha * float64(b.SharedFree())
-	if float64(egressQLen+size) > limit || b.used+size > b.shared {
+	if b.used+size > b.shared || b.dtExceeds(egressQLen+size) {
 		b.Drops++
 		b.DropBytes += int64(size)
 		return false
@@ -211,22 +275,23 @@ func (b *sharedBuffer) release(port, prio, size int, lossless bool) (sendResume 
 		b.used -= size
 		return false
 	}
-	b.ingBytes[port][prio] -= size
+	i := port*b.nprios + prio
+	b.ing[i] -= size
 	// Headroom is drained first so the class re-enters the shared pool.
-	if h := b.hdrBytes[port][prio]; h > 0 {
+	if h := b.hdr[i]; h > 0 {
 		if size <= h {
-			b.hdrBytes[port][prio] -= size
+			b.hdr[i] -= size
 			b.hdrUsed -= size
 		} else {
-			b.hdrBytes[port][prio] = 0
+			b.hdr[i] = 0
 			b.hdrUsed -= h
 			b.used -= size - h
 		}
 	} else {
 		b.used -= size
 	}
-	if b.paused[port][prio] && b.ingBytes[port][prio] <= b.xoff()/2 {
-		b.paused[port][prio] = false
+	if b.paused[i] && b.ing[i] <= b.xoff()/2 {
+		b.paused[i] = false
 		return true
 	}
 	return false

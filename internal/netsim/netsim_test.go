@@ -82,7 +82,7 @@ func star(eng *sim.Engine, n int, rate Rate, prop sim.Time, nq int, cfg BufferCo
 		hosts[i] = NewHost(eng, i, rate, prop, nq)
 		p := sw.AddPort(rate, prop, nq)
 		Connect(hosts[i].NIC, p)
-		sw.Routes[i] = []int32{int32(i)}
+		sw.SetRoute(i, []int32{int32(i)})
 	}
 	sw.Finalize()
 	return sw, hosts
@@ -303,7 +303,7 @@ func TestECMPStablePerFlow(t *testing.T) {
 	src := NewHost(eng, 9, 100*Gbps, 0, 1)
 	p := sw.AddPort(100*Gbps, 0, 1)
 	Connect(src.NIC, p)
-	sw.Routes[5] = []int32{0, 1}
+	sw.SetRoute(5, []int32{0, 1})
 	sw.Finalize()
 	for i := 0; i < 10; i++ {
 		src.Send(NewData(42, 9, 5, 0, int64(i)*1000, 1000))

@@ -78,6 +78,10 @@ const (
 	DefaultMTU  = 1000 // application payload bytes per full data packet
 	HeaderBytes = 48   // L2..L4 header overhead on data packets
 	AckBytes    = 64   // ACK and probe wire size
+
+	// wireFull is the wire size of a full-MTU data packet — with AckBytes,
+	// one of the two sizes whose serialization time every port precomputes.
+	wireFull = DefaultMTU + HeaderBytes
 )
 
 // INTRecord is one hop's in-band network telemetry, stamped at dequeue by
@@ -100,30 +104,36 @@ type INTRecord struct {
 // recycled at the end of their life (see pool.go for the ownership rules);
 // the New* constructors below allocate pool-free packets for tests and
 // direct netsim use.
+// Field order is deliberate: the fields every hop touches — Type, the
+// ECN/trace flags, VPrio, Hash, Dst, Prio, Wire — pack into the first
+// cache line (offsets 0..40 with FlowID and Seq rounding it out), so a
+// switch hop's route lookup, ECMP hash, admission, and enqueue read one
+// line instead of three. Endpoint-only and pool-bookkeeping fields follow.
 type Packet struct {
-	Type   PacketType
-	FlowID int64
-	Src    int // source host ID
-	Dst    int // destination host ID
-	Prio   int // physical priority queue index; larger = higher priority
-	// VPrio is the flow's virtual priority, carried in the header (as a
-	// DSCP-like tag) but not used for queueing. The ECN-based PrioPlus
-	// extension (Appendix B) marks by VPrio within one physical queue.
-	VPrio   int16
-	Seq     int64
-	AckSeq  int64 // cumulative bytes received, on ACKs
-	Payload int   // application payload bytes (data packets)
-	Wire    int   // total bytes on the wire
-	SentAt  sim.Time
-	ECT     bool // ECN-capable transport
-	CE      bool // congestion experienced mark
+	Type PacketType
+	ECT  bool // ECN-capable transport
+	CE   bool // congestion experienced mark
 	// Traced marks a packet whose hop journey is being recorded by an
 	// obs.FlowTracer: every egress port appends a trace INTRecord (Dev set)
 	// at dequeue. Set by the transport on a sampled subset of a traced
 	// flow's packets; false everywhere else, costing one branch per hop.
 	Traced bool
+	// VPrio is the flow's virtual priority, carried in the header (as a
+	// DSCP-like tag) but not used for queueing. The ECN-based PrioPlus
+	// extension (Appendix B) marks by VPrio within one physical queue.
+	VPrio  int16
 	Hash   uint32
-	INT    []INTRecord
+	Dst    int // destination host ID
+	Prio   int // physical priority queue index; larger = higher priority
+	Wire   int // total bytes on the wire
+	FlowID int64
+	Seq    int64
+
+	Src     int   // source host ID
+	AckSeq  int64 // cumulative bytes received, on ACKs
+	Payload int   // application payload bytes (data packets)
+	SentAt  sim.Time
+	INT     []INTRecord
 
 	// hopEnqAt is the enqueue timestamp at the current hop, consumed at
 	// dequeue to compute the trace records' QWait. Only maintained for

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"prioplus/internal/obs"
@@ -101,6 +102,10 @@ func (f *PortFault) drop(p *Port, pkt *Packet) bool {
 // receives whatever Peer transmits. Each port owns per-priority egress
 // queues served in strict-priority order (higher index first), honoring
 // per-priority PFC pause state.
+//
+// Rate is fixed at construction: NewPort precomputes the serialization
+// times for the two dominant wire sizes from it, so mutating Rate on a
+// live port would desynchronize them.
 type Port struct {
 	Eng       *sim.Engine
 	Owner     Device
@@ -130,14 +135,53 @@ type Port struct {
 	Trace obs.Tracer
 
 	// Pool, when non-nil, receives packets this port drops under faults,
-	// keeping faulted runs allocation-free. Installed by internal/harness.
+	// keeping faulted runs allocation-free. Installed by internal/harness;
+	// a nil pool is always safe (Put on a nil pool is a no-op) and just
+	// leaves dropped packets to the GC.
 	Pool *PacketPool
 
-	queues    []pktQueue
-	paused    []bool
-	sending   bool
+	// Devirtualized owner: exactly one of ownerSw/ownerHost is set when
+	// the owner is a concrete Switch or Host (the only in-tree devices),
+	// letting delivery branch to the concrete HandlePacket instead of
+	// going through the Device interface. Custom Device implementations
+	// (both nil) still dispatch through Owner.
+	ownerSw   *Switch
+	ownerHost *Host
+
+	// Precomputed serialization times for the two wire sizes that
+	// dominate every run (full-MTU data and minimal ACK/probe/PFC
+	// frames), so the hot path skips Rate.Serialize's 64-bit divide.
+	// Zero when Rate is zero (serialize falls through, preserving the
+	// pre-cache divide-by-zero behavior).
+	serFull sim.Time
+	serAck  sim.Time
+
+	queues []pktQueue
+	paused []bool
+
+	// occMask/pausedMask mirror queue occupancy and PFC pause state for
+	// queues 0..63, so strict-priority selection is a single Len64 on
+	// occMask &^ pausedMask instead of a scan. Ports with more than 64
+	// queues fall back to the scan (the 1<<q updates degrade to no-ops:
+	// Go shifts >= 64 yield 0).
+	occMask    uint64
+	pausedMask uint64
+
+	// busyUntil/wakeSeq/wakeArmed replace the former per-transmission
+	// completion event. The transmitter is busy until dispatch position
+	// (busyUntil, wakeSeq) — wakeSeq is reserved (sim.Engine.ReserveSeq)
+	// at transmit time, exactly where the old scheme allocated its
+	// completion event, so every same-timestamp tie-break is identical.
+	// The wake event itself is filed under that reserved seq only when
+	// one is needed (backlog behind the packet on the wire, or an
+	// enqueue/resume landing mid-serialization); a port whose queue
+	// drains empty — the common case on host NICs and uncongested
+	// fabric — posts one engine event per packet, not two.
+	busyUntil sim.Time
+	wakeSeq   uint64
+	wakeArmed bool
 	fault     *PortFault // nil until a fault plan (or test) touches the port
-	startTxFn func()     // preallocated; avoids a closure per transmission
+	startTxFn func()     // preallocated; avoids a closure per wake
 	devName   string     // lazily cached Owner.DeviceName() (hosts format it per call)
 
 	// Counters.
@@ -164,6 +208,16 @@ func NewPort(eng *sim.Engine, owner Device, rate Rate, prop sim.Time, nqueues in
 		PropDelay: prop,
 		queues:    make([]pktQueue, nqueues),
 		paused:    make([]bool, nqueues),
+	}
+	switch o := owner.(type) {
+	case *Switch:
+		p.ownerSw = o
+	case *Host:
+		p.ownerHost = o
+	}
+	if rate != 0 {
+		p.serFull = rate.Serialize(wireFull)
+		p.serAck = rate.Serialize(AckBytes)
 	}
 	p.startTxFn = p.startTx
 	return p
@@ -197,6 +251,19 @@ func (p *Port) name() string {
 		p.devName = p.Owner.DeviceName()
 	}
 	return p.devName
+}
+
+// serialize returns the wire time for a packet of the given size,
+// answering the two dominant sizes from the constructor-computed cache and
+// falling back to the exact Rate.Serialize divide for everything else.
+func (p *Port) serialize(wire int) sim.Time {
+	if wire == wireFull && p.serFull != 0 {
+		return p.serFull
+	}
+	if wire == AckBytes && p.serAck != 0 {
+		return p.serAck
+	}
+	return p.Rate.Serialize(wire)
 }
 
 // clampPrio maps a packet priority onto the port's queue range. A host NIC
@@ -236,12 +303,19 @@ func (p *Port) SetDown(down bool) {
 	}
 	f.Down = down
 	if !down {
-		if !p.sending {
-			p.startTx()
-		}
+		p.kick()
 		return
 	}
 	p.dropQueued()
+}
+
+// popQueue pops the head of priority queue q, keeping occMask in sync.
+func (p *Port) popQueue(q int) TxItem {
+	it := p.queues[q].pop()
+	if p.queues[q].empty() {
+		p.occMask &^= 1 << uint(q)
+	}
+	return it
 }
 
 // dropQueued drops every queued packet back into the pool, with switch
@@ -249,7 +323,7 @@ func (p *Port) SetDown(down bool) {
 func (p *Port) dropQueued() {
 	for q := range p.queues {
 		for !p.queues[q].empty() {
-			it := p.queues[q].pop()
+			it := p.popQueue(q)
 			if it.Sw != nil {
 				it.Sw.releaseItem(it)
 			}
@@ -281,33 +355,116 @@ func (p *Port) dropFault(pkt *Packet, corrupt bool) {
 func (p *Port) Enqueue(it TxItem) {
 	checkLive(it.Pkt, "Port.Enqueue")
 	if p.fault != nil && p.fault.Down {
-		// A dead port refuses new work outright: the buffer charge just
-		// taken by the owning switch is released and the packet recycled.
-		if it.Sw != nil {
-			it.Sw.releaseItem(it)
-		}
-		p.dropFault(it.Pkt, false)
+		p.refuseDead(it)
 		return
 	}
-	q := p.clampPrio(it.Pkt.Prio)
+	p.enqueue(it, p.clampPrio(it.Pkt.Prio))
+}
+
+// refuseDead is the dead-port cold path: a down link refuses new work
+// outright — the buffer charge just taken by the owning switch is released
+// and the packet recycled.
+//
+//go:noinline
+func (p *Port) refuseDead(it TxItem) {
+	if it.Sw != nil {
+		it.Sw.releaseItem(it)
+	}
+	p.dropFault(it.Pkt, false)
+}
+
+// enqueue is the admitted fast path behind Enqueue: the link is known up
+// and q is the already-clamped queue index, so the common case (untraced
+// packet, no tracer, transmitter busy or queue immediately serviceable)
+// runs straight-line.
+func (p *Port) enqueue(it TxItem, q int) {
+	checkLive(it.Pkt, "Port.Enqueue")
+	// Empty-idle bypass: with the wire free, no wake pending, no other
+	// available work, and queue q itself empty and unpaused, the strict-
+	// priority pick is this packet, so it goes straight to the transmitter
+	// without touching the queue. State updates (HWM, Traced stamp) match
+	// what push-then-pop would have done in this same event; transmit then
+	// observes the queue exactly as it would post-pop. Tracer-installed
+	// ports take the full path so enqueue/dequeue events still fire.
+	if p.Trace == nil && !p.wakeArmed && len(p.queues) <= 64 &&
+		p.occMask&^p.pausedMask == 0 && (p.pausedMask>>uint(q))&1 == 0 &&
+		p.wireFree() {
+		if it.Pkt.Traced {
+			it.Pkt.hopEnqAt = p.Eng.Now()
+		}
+		if it.Pkt.Wire > p.QueueHWM {
+			p.QueueHWM = it.Pkt.Wire
+		}
+		p.transmit(it, q)
+		return
+	}
 	p.queues[q].push(it)
+	p.occMask |= 1 << uint(q)
 	if it.Pkt.Traced {
 		it.Pkt.hopEnqAt = p.Eng.Now()
 	}
-	if p.queues[q].bytes > p.QueueHWM {
-		p.QueueHWM = p.queues[q].bytes
+	if b := p.queues[q].bytes; b > p.QueueHWM {
+		p.QueueHWM = b
 	}
 	if p.Trace != nil {
-		p.Trace.Trace(obs.Event{
-			T: p.Eng.Now(), Kind: obs.Enqueue,
-			Dev: p.name(), Port: p.Index, Queue: q,
-			Flow: it.Pkt.FlowID, Seq: it.Pkt.Seq,
-			Bytes: it.Pkt.Wire, QLen: p.queues[q].bytes,
-		})
+		p.traceEnqueue(it.Pkt, q)
 	}
-	if !p.sending {
+	if !p.wakeArmed {
+		if p.wireFree() {
+			p.startTxLive()
+		} else {
+			p.armWake()
+		}
+	}
+}
+
+// wireFree reports whether the transmitter has passed its completion
+// point: beyond busyUntil, or at it but with dispatch already past the
+// reserved wake position — the exact instant the former eager completion
+// event fired. The seq comparison at the boundary is what keeps
+// same-timestamp behavior identical to the eager scheme: a callback
+// running at busyUntil but ordered before the reserved seq must still see
+// the wire busy, exactly as it saw the completion event still pending.
+func (p *Port) wireFree() bool {
+	if now := p.Eng.Now(); now != p.busyUntil {
+		return now > p.busyUntil
+	}
+	return p.Eng.ReachedSeq(p.busyUntil, p.wakeSeq)
+}
+
+// armWake files the transmitter's wake at (busyUntil, wakeSeq) — the seq
+// reserved by the transmission occupying the wire. At most one wake is
+// pending at a time (wakeArmed); startTx clears it when it fires.
+func (p *Port) armWake() {
+	p.wakeArmed = true
+	p.Eng.PostAtSeq(p.busyUntil, p.startTxFn, p.wakeSeq)
+}
+
+// kick restarts an idle transmitter after an external state change (PFC
+// resume, link back up): if a wake is already pending it will handle the
+// change; mid-serialization the wake is armed for when the wire frees;
+// otherwise the port is idle and can transmit immediately.
+func (p *Port) kick() {
+	if p.wakeArmed {
+		return
+	}
+	if p.wireFree() {
 		p.startTx()
+	} else {
+		p.armWake()
 	}
+}
+
+// traceEnqueue is the tracer-installed cold path of enqueue.
+//
+//go:noinline
+func (p *Port) traceEnqueue(pkt *Packet, q int) {
+	p.Trace.Trace(obs.Event{
+		T: p.Eng.Now(), Kind: obs.Enqueue,
+		Dev: p.name(), Port: p.Index, Queue: q,
+		Flow: pkt.FlowID, Seq: pkt.Seq,
+		Bytes: pkt.Wire, QLen: p.queues[q].bytes,
+	})
 }
 
 // SetPaused updates PFC pause state for one priority queue.
@@ -317,6 +474,11 @@ func (p *Port) SetPaused(prio int, on bool) {
 		return
 	}
 	p.paused[q] = on
+	if on {
+		p.pausedMask |= 1 << uint(q)
+	} else {
+		p.pausedMask &^= 1 << uint(q)
+	}
 	if p.Trace != nil {
 		kind := obs.Resume
 		if on {
@@ -337,9 +499,7 @@ func (p *Port) SetPaused(prio int, on bool) {
 		if p.npaused == 0 {
 			p.PausedFor += p.Eng.Now() - p.pausedAt
 		}
-		if !p.sending {
-			p.startTx()
-		}
+		p.kick()
 	}
 }
 
@@ -350,64 +510,59 @@ func (p *Port) Paused(prio int) bool { return p.paused[p.clampPrio(prio)] }
 // PFC-paused (a time-series sampling point).
 func (p *Port) PausedQueues() int { return p.npaused }
 
+// startTx is the transmitter entry for scheduled wake events and link-up
+// re-arms: the link may have gone down since the event was filed.
 func (p *Port) startTx() {
+	p.wakeArmed = false
 	if p.fault != nil && p.fault.Down {
-		p.sending = false
 		return
 	}
-	// Strict priority: highest-index unpaused non-empty queue first.
+	p.startTxLive()
+}
+
+// startTxLive picks the next packet under strict priority — the
+// highest-index unpaused non-empty queue — and transmits it. The caller
+// guarantees the link is up and the wire free. Ports with at most 64
+// queues (all real configurations) resolve the choice with one bitmask
+// operation; wider ports scan.
+func (p *Port) startTxLive() {
+	if len(p.queues) <= 64 {
+		avail := p.occMask &^ p.pausedMask
+		if avail == 0 {
+			return
+		}
+		q := bits.Len64(avail) - 1
+		p.transmit(p.popQueue(q), q)
+		return
+	}
 	for q := len(p.queues) - 1; q >= 0; q-- {
 		if p.paused[q] || p.queues[q].empty() {
 			continue
 		}
-		it := p.queues[q].pop()
-		p.sending = true
-		p.transmit(it, q)
+		p.transmit(p.popQueue(q), q)
 		return
 	}
-	p.sending = false
 }
 
 func (p *Port) transmit(it TxItem, q int) {
 	pkt := it.Pkt
-	ser := p.Rate.Serialize(pkt.Wire)
+	ser := p.serialize(pkt.Wire)
 	p.TxBytes += int64(pkt.Wire)
 	p.TxPackets++
 	if it.Sw != nil {
 		it.Sw.releaseItem(it)
 	}
 	if p.Trace != nil {
-		p.Trace.Trace(obs.Event{
-			T: p.Eng.Now(), Kind: obs.Dequeue,
-			Dev: p.name(), Port: p.Index, Queue: q,
-			Flow: pkt.FlowID, Seq: pkt.Seq,
-			Bytes: pkt.Wire, QLen: p.queues[q].bytes,
-		})
+		p.traceDequeue(pkt, q)
 	}
 	if p.HWTimestamp && (pkt.Type == Data || pkt.Type == Probe) {
 		pkt.SentAt = p.Eng.Now()
 	}
 	if p.INTEnabled && pkt.Type == Data && pkt.ECT {
-		pkt.INT = append(pkt.INT, INTRecord{
-			QLen:    p.queues[q].bytes,
-			TxBytes: p.TxBytes,
-			TS:      p.Eng.Now(),
-			Rate:    p.Rate,
-		})
+		p.stampINT(pkt, q)
 	}
 	if pkt.Traced && (pkt.Type == Data || pkt.Type == Probe) {
-		// Journey stamp for flow tracing, separate from INT proper: Dev is
-		// set, so the transport can split trace records out of HPCC's
-		// feedback. Appended on the forward path only; the pooled Ack /
-		// ProbeAck constructors carry the array back to the sender.
-		pkt.INT = append(pkt.INT, INTRecord{
-			QLen:    p.queues[q].bytes,
-			TxBytes: p.TxBytes,
-			TS:      p.Eng.Now(),
-			Rate:    p.Rate,
-			Dev:     p.name(),
-			QWait:   p.Eng.Now() - pkt.hopEnqAt,
-		})
+		p.stampTrace(pkt, q)
 	}
 	prop := p.PropDelay
 	if p.Jitter != nil {
@@ -416,7 +571,63 @@ func (p *Port) transmit(it TxItem, q int) {
 	// Closure-free delivery: deliverPacket is a package-level function and
 	// both arguments are pointers, so this schedules without allocating.
 	p.Eng.Post2(ser+prop, deliverPacket, p.Peer, pkt)
-	p.Eng.Post(ser, p.startTxFn)
+	// Reserve the wake's dispatch position now — the exact point the old
+	// scheme allocated its unconditional completion event — so a wake
+	// armed later (or not at all) leaves every other event's tie-break
+	// unchanged.
+	p.wakeSeq = p.Eng.ReserveSeq()
+	p.busyUntil = p.Eng.Now() + ser
+	// Chain the next transmission only when backlog remains; an enqueue
+	// landing mid-serialization arms its own wake at busyUntil. Wider
+	// ports always chain rather than scanning for available work here.
+	if len(p.queues) <= 64 {
+		if p.occMask&^p.pausedMask != 0 {
+			p.armWake()
+		}
+	} else {
+		p.armWake()
+	}
+}
+
+// traceDequeue is the tracer-installed cold path of transmit.
+//
+//go:noinline
+func (p *Port) traceDequeue(pkt *Packet, q int) {
+	p.Trace.Trace(obs.Event{
+		T: p.Eng.Now(), Kind: obs.Dequeue,
+		Dev: p.name(), Port: p.Index, Queue: q,
+		Flow: pkt.FlowID, Seq: pkt.Seq,
+		Bytes: pkt.Wire, QLen: p.queues[q].bytes,
+	})
+}
+
+// stampINT appends INT-proper telemetry at dequeue, for HPCC.
+//
+//go:noinline
+func (p *Port) stampINT(pkt *Packet, q int) {
+	pkt.INT = append(pkt.INT, INTRecord{
+		QLen:    p.queues[q].bytes,
+		TxBytes: p.TxBytes,
+		TS:      p.Eng.Now(),
+		Rate:    p.Rate,
+	})
+}
+
+// stampTrace appends a journey stamp for flow tracing, separate from INT
+// proper: Dev is set, so the transport can split trace records out of
+// HPCC's feedback. Appended on the forward path only; the pooled Ack /
+// ProbeAck constructors carry the array back to the sender.
+//
+//go:noinline
+func (p *Port) stampTrace(pkt *Packet, q int) {
+	pkt.INT = append(pkt.INT, INTRecord{
+		QLen:    p.queues[q].bytes,
+		TxBytes: p.TxBytes,
+		TS:      p.Eng.Now(),
+		Rate:    p.Rate,
+		Dev:     p.name(),
+		QWait:   p.Eng.Now() - pkt.hopEnqAt,
+	})
 }
 
 // deliverPacket is the preallocated Post2 target for packet arrival at the
@@ -425,11 +636,21 @@ func (p *Port) transmit(it TxItem, q int) {
 // link faults are applied here: a downed or impaired receiving port
 // consumes the packet instead of handing it to the device. The fault layer
 // downs both ends of a cable, so in-flight packets of a flapped link are
-// lost in both directions.
+// lost in both directions. Dispatch goes through the port's concrete
+// owner-kind fields — (*Switch).HandlePacket / (*Host).HandlePacket called
+// directly — with the Device interface as the fallback for custom owners.
 func deliverPacket(a, b any) {
 	in := a.(*Port)
 	pkt := b.(*Packet)
 	if in.fault != nil && in.fault.drop(in, pkt) {
+		return
+	}
+	if sw := in.ownerSw; sw != nil {
+		sw.HandlePacket(pkt, in)
+		return
+	}
+	if h := in.ownerHost; h != nil {
+		h.HandlePacket(pkt, in)
 		return
 	}
 	in.Owner.HandlePacket(pkt, in)
@@ -437,10 +658,20 @@ func deliverPacket(a, b any) {
 
 // deliverPause is the preallocated Post2 target for PFC frame arrival: a
 // is the receiving *Port, b packs prio<<1|on. The packed value stays below
-// 256, so boxing it in any does not allocate.
+// 256, so boxing it in any does not allocate. Like deliverPacket, dispatch
+// branches on the concrete owner kind before falling back to the Device
+// interface.
 func deliverPause(a, b any) {
 	in := a.(*Port)
 	code := b.(int)
+	if sw := in.ownerSw; sw != nil {
+		sw.HandlePause(code>>1, code&1 == 1, in)
+		return
+	}
+	if h := in.ownerHost; h != nil {
+		h.HandlePause(code>>1, code&1 == 1, in)
+		return
+	}
 	in.Owner.HandlePause(code>>1, code&1 == 1, in)
 }
 
@@ -448,7 +679,7 @@ func deliverPause(a, b any) {
 // frames are generated by the MAC and bypass the egress queues; they are
 // modeled as a fixed-size control frame that does not occupy the port.
 func (p *Port) SendPause(prio int, on bool) {
-	d := p.Rate.Serialize(AckBytes) + p.PropDelay
+	d := p.serialize(AckBytes) + p.PropDelay
 	code := prio << 1
 	if on {
 		code |= 1

@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prioplus/internal/sim"
+)
+
+// TestECMPModMatchesModulo proves the magic-multiply reciprocal equals the
+// hardware modulo for every ECMP fan-out the simulator can produce.
+// Divisors 1..64 are checked exhaustively against the boundary hashes
+// where a fixed-point reciprocal would first go wrong: 0, 1, the top of
+// the 32-bit range, every multiple of the divisor +/-1 near both ends,
+// and a large prime-stride sweep across the middle.
+func TestECMPModMatchesModulo(t *testing.T) {
+	check := func(x, d uint32) {
+		magic := ecmpMagic(d)
+		if got, want := ecmpMod(x, magic, d), x%d; got != want {
+			t.Fatalf("ecmpMod(%d, %d) = %d, want %d", x, d, got, want)
+		}
+	}
+	for d := uint32(1); d <= 64; d++ {
+		for _, x := range []uint32{0, 1, d - 1, d, d + 1, 1<<31 - 1, 1 << 31, ^uint32(0) - d, ^uint32(0) - 1, ^uint32(0)} {
+			check(x, d)
+		}
+		// Multiples of d near both ends of the range, +/-1.
+		top := (^uint32(0) / d) * d
+		for _, base := range []uint32{d * 2, d * 3, top - d, top} {
+			check(base-1, d)
+			check(base, d)
+			check(base+1, d)
+		}
+		// Prime stride sweep: ~2^12 points spread over the full range.
+		const stride = 1048583 // prime > 2^20
+		for x := uint32(0); x <= ^uint32(0)-stride; x += stride {
+			check(x, d)
+		}
+	}
+}
+
+// TestECMPModQuick is the randomized counterpart: any (hash, fan-out)
+// pair, fan-out up to 2^16.
+func TestECMPModQuick(t *testing.T) {
+	f := func(x uint32, dRaw uint16) bool {
+		d := uint32(dRaw)%(1<<16) + 1
+		return ecmpMod(x, ecmpMagic(d), d) == x%d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRouteTableSetClearReset exercises the dense-table API directly:
+// growth past the initial sizing, clearing, the read-only view, and the
+// rebuild contract.
+func TestRouteTableSetClearReset(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, "sw", DefaultBufferConfig(), rand.New(rand.NewSource(1)))
+	sw.ResetRoutes(2)
+	sw.SetRoute(0, []int32{3})
+	sw.SetRoute(1, []int32{1, 2})
+	sw.SetRoute(7, []int32{5}) // beyond the ResetRoutes sizing: must grow
+	if got := sw.RouteDests(); got != 8 {
+		t.Fatalf("RouteDests = %d, want 8", got)
+	}
+	if r := sw.Route(1); len(r) != 2 || r[0] != 1 || r[1] != 2 {
+		t.Errorf("Route(1) = %v, want [1 2]", r)
+	}
+	if r := sw.Route(7); len(r) != 1 || r[0] != 5 {
+		t.Errorf("Route(7) = %v, want [5]", r)
+	}
+	if r := sw.Route(3); r != nil {
+		t.Errorf("Route(3) = %v, want nil (never set)", r)
+	}
+	if r := sw.Route(100); r != nil {
+		t.Errorf("Route(100) = %v, want nil (out of table)", r)
+	}
+	sw.ClearRoute(1)
+	if r := sw.Route(1); r != nil {
+		t.Errorf("Route(1) after ClearRoute = %v, want nil", r)
+	}
+	// Rebuild: ResetRoutes empties everything, old entries must not leak.
+	sw.ResetRoutes(8)
+	if r := sw.Route(0); r != nil {
+		t.Errorf("Route(0) after ResetRoutes = %v, want nil", r)
+	}
+	sw.SetRoute(0, []int32{9})
+	if r := sw.Route(0); len(r) != 1 || r[0] != 9 {
+		t.Errorf("Route(0) after rebuild = %v, want [9]", r)
+	}
+}
+
+// TestRouteRebuildZeroAlloc pins the rebuild contract: once the arena and
+// table have grown, a same-shape ResetRoutes+SetRoute cycle (what
+// RecomputeRoutes does on every fault event) allocates nothing.
+func TestRouteRebuildZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, "sw", DefaultBufferConfig(), rand.New(rand.NewSource(1)))
+	ports := []int32{0, 1, 2, 3}
+	rebuild := func() {
+		sw.ResetRoutes(64)
+		for dst := 0; dst < 64; dst++ {
+			sw.SetRoute(dst, ports[:1+dst%4])
+		}
+	}
+	rebuild()
+	if allocs := testing.AllocsPerRun(100, rebuild); allocs != 0 {
+		t.Errorf("route rebuild allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestNilPoolDropPaths: a switch without a harness-installed pool must
+// take every drop class without panicking — no-route (under
+// AllowNoRoute), buffer admission refusal, and fault drops — leaving the
+// packets to the GC.
+func TestNilPoolDropPaths(t *testing.T) {
+	t.Run("no-route", func(t *testing.T) {
+		eng := sim.NewEngine()
+		sw, hosts := star(eng, 2, 100*Gbps, sim.Microsecond, 2, lossyConfig())
+		sw.AllowNoRoute = true
+		hosts[0].Send(NewData(1, 0, 99, 0, 0, 1000)) // host 99 does not exist
+		eng.Run()
+		if sw.NoRouteDrop != 1 {
+			t.Errorf("NoRouteDrop = %d, want 1", sw.NoRouteDrop)
+		}
+	})
+	t.Run("all-next-hops-down", func(t *testing.T) {
+		eng := sim.NewEngine()
+		sw, hosts := star(eng, 2, 100*Gbps, sim.Microsecond, 2, lossyConfig())
+		sw.Ports[1].SetDown(true) // the only path to host 1
+		hosts[0].Send(NewData(1, 0, 1, 0, 0, 1000))
+		eng.Run()
+		if sw.NoRouteDrop != 1 {
+			t.Errorf("NoRouteDrop = %d, want 1 (ECMP exclusion exhausted)", sw.NoRouteDrop)
+		}
+	})
+	t.Run("buffer-admission", func(t *testing.T) {
+		eng := sim.NewEngine()
+		cfg := lossyConfig()
+		cfg.TotalBytes = 4 * 1048 // room for ~4 packets
+		sw, hosts := star(eng, 3, 100*Gbps, sim.Microsecond, 2, cfg)
+		for i := 0; i < 64; i++ {
+			hosts[0].Send(NewData(1, 0, 2, 0, int64(i)*1000, 1000))
+			hosts[1].Send(NewData(2, 1, 2, 0, int64(i)*1000, 1000))
+		}
+		eng.Run()
+		if sw.Drops() == 0 {
+			t.Error("no admission drops under 128-packet burst into a 4-packet buffer")
+		}
+	})
+	t.Run("fault-drop-queued", func(t *testing.T) {
+		eng := sim.NewEngine()
+		sw, hosts := star(eng, 3, 100*Gbps, sim.Microsecond, 2, lossyConfig())
+		// 2:1 incast so the egress queue to host 2 builds a backlog.
+		for i := 0; i < 32; i++ {
+			hosts[0].Send(NewData(1, 0, 2, 0, int64(i)*1000, 1000))
+			hosts[1].Send(NewData(2, 1, 2, 0, int64(i)*1000, 1000))
+		}
+		// Let the burst land in the egress queue, then kill the link:
+		// SetDown drops the backlog through the fault path, pool-less.
+		eng.RunUntil(2 * sim.Microsecond)
+		sw.Ports[2].SetDown(true)
+		eng.Run()
+		if sw.Ports[2].FaultDrops == 0 {
+			t.Error("SetDown dropped nothing; fault drop path went untested")
+		}
+	})
+}

@@ -17,10 +17,6 @@ type Switch struct {
 	Ports  []*Port
 	Buffer BufferConfig
 
-	// Routes maps a destination host ID to the candidate egress port
-	// indexes (ECMP set). Built by internal/topo.
-	Routes map[int][]int32
-
 	// Trace, when non-nil, receives drop and ECN-mark events for this
 	// switch (enqueue/dequeue events come from the ports). Install via
 	// harness.Net.Observe.
@@ -28,7 +24,8 @@ type Switch struct {
 
 	// Pool, when non-nil, receives packets this switch drops, so lossy
 	// runs stay allocation-free. Installed by internal/harness; a nil pool
-	// just leaves dropped packets to the GC.
+	// is always safe (Put on a nil pool is a no-op) and just leaves
+	// dropped packets to the GC.
 	Pool *PacketPool
 
 	// AllowNoRoute turns the no-route invariant panic into a counted drop.
@@ -37,8 +34,20 @@ type Switch struct {
 	// toward the partition must die quietly, not crash the run.
 	AllowNoRoute bool
 
+	// Dense route table: per-destination ECMP sets in one flat arena,
+	// indexed by the contiguous host ID. See route.go for the install API
+	// (ResetRoutes/SetRoute/Route), built by internal/topo.
+	routes     []routeEntry
+	routeArena []int32
+
 	buf *sharedBuffer
 	rng *rand.Rand
+
+	// ecnOff short-circuits the marking check when the configuration can
+	// never mark (no per-VPrio thresholds, KMin disabled), skipping the
+	// per-packet RNG draw. Computed at Finalize; the rng has no other
+	// consumer, so skipping draws is output-invariant.
+	ecnOff bool
 
 	// Counters.
 	RxPackets   int64
@@ -52,7 +61,6 @@ func NewSwitch(eng *sim.Engine, name string, cfg BufferConfig, rng *rand.Rand) *
 		Eng:    eng,
 		Name:   name,
 		Buffer: cfg,
-		Routes: make(map[int][]int32),
 		rng:    rng,
 	}
 }
@@ -74,6 +82,7 @@ func (s *Switch) Finalize() {
 		nprios = max(nprios, p.NumQueues())
 	}
 	s.buf = newSharedBuffer(s.Buffer, len(s.Ports), nprios)
+	s.ecnOff = s.Buffer.ECNKByVPrio == nil && s.Buffer.ECNKMin <= 0
 }
 
 // DeviceName implements Device.
@@ -107,24 +116,29 @@ func (s *Switch) HandlePause(prio int, on bool, in *Port) {
 	in.SetPaused(prio, on)
 }
 
-// HandlePacket implements Device: route, admit, mark, enqueue.
+// HandlePacket implements Device: route, admit, mark, enqueue. The common
+// case — route present, next hop up, admitted, no marking — runs straight
+// through with the drop paths outlined into noinline helpers; every
+// decision (ECMP selection, admission, marking) is bit-identical to the
+// pre-dense-table implementation.
 func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 	checkLive(pkt, "Switch.HandlePacket")
 	s.RxPackets++
-	ports, ok := s.Routes[pkt.Dst]
-	if !ok || len(ports) == 0 {
-		s.NoRouteDrop++
-		if !s.AllowNoRoute {
-			panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.Name, pkt.Dst))
-		}
-		s.Pool.Put(pkt)
+	dst := pkt.Dst
+	if uint(dst) >= uint(len(s.routes)) {
+		s.dropNoRoute(pkt)
 		return
 	}
-	out := s.Ports[ports[int(pkt.Hash)%len(ports)]]
+	e := &s.routes[dst]
+	if e.n == 0 {
+		s.dropNoRoute(pkt)
+		return
+	}
+	out := s.Ports[s.routeArena[e.off+int32(ecmpMod(pkt.Hash, e.magic, uint32(e.n)))]]
 	if out.fault != nil && out.fault.Down {
 		// ECMP next-hop exclusion: re-hash over the live subset so flows
 		// route around a downed link without waiting for the control plane.
-		out = s.liveNextHop(ports, int(pkt.Hash))
+		out = s.liveNextHop(s.routeArena[e.off:e.off+e.n], int(pkt.Hash))
 		if out == nil {
 			s.NoRouteDrop++
 			s.Pool.Put(pkt)
@@ -132,50 +146,75 @@ func (s *Switch) HandlePacket(pkt *Packet, in *Port) {
 		}
 	}
 	prio := out.clampPrio(pkt.Prio)
-	inPort := in.Index
 	size := pkt.Wire
 
 	lossless := s.buf.lossless(prio)
 	if lossless {
-		admitted, sendPause := s.buf.admitLossless(inPort, prio, size)
+		admitted, sendPause := s.buf.admitLossless(in.Index, prio, size)
 		if sendPause {
 			in.SendPause(prio, true)
 		}
 		if !admitted {
-			s.traceDrop(pkt, out, prio)
-			s.Pool.Put(pkt)
+			s.dropAdmission(pkt, out, prio)
 			return
 		}
-	} else {
-		if !s.buf.admitLossy(out.QueueBytes(prio), size) {
-			s.traceDrop(pkt, out, prio)
-			s.Pool.Put(pkt)
-			return
-		}
+	} else if !s.buf.admitLossy(out.queues[prio].bytes, size) {
+		s.dropAdmission(pkt, out, prio)
+		return
 	}
 
-	if pkt.Type == Data && pkt.ECT && !pkt.CE {
-		if s.Buffer.ecnMark(out.QueueBytes(prio)+size, pkt.VPrio, s.rng.Float64()) {
-			pkt.CE = true
-			s.ECNMarks++
-			if s.Trace != nil {
-				s.Trace.Trace(obs.Event{
-					T: s.Eng.Now(), Kind: obs.Mark,
-					Dev: s.Name, Port: out.Index, Queue: prio,
-					Flow: pkt.FlowID, Seq: pkt.Seq,
-					Bytes: size, QLen: out.QueueBytes(prio) + size,
-				})
-			}
-		}
+	if pkt.Type == Data && pkt.ECT && !pkt.CE && !s.ecnOff {
+		s.maybeMark(pkt, out, prio, size)
 	}
 
-	out.Enqueue(TxItem{
+	// The egress port is known up (checked at route selection, and link
+	// state cannot change within this event), so enqueue skips the public
+	// Enqueue wrapper's down-check and priority re-clamp.
+	out.enqueue(TxItem{
 		Pkt:      pkt,
 		Sw:       s,
-		InPort:   int32(inPort),
+		InPort:   int32(in.Index),
 		QPrio:    int16(prio),
 		Lossless: lossless,
-	})
+	}, prio)
+}
+
+// dropNoRoute is the routeless-destination cold path: count, panic unless
+// the fault layer legitimized partitions, recycle.
+//
+//go:noinline
+func (s *Switch) dropNoRoute(pkt *Packet) {
+	s.NoRouteDrop++
+	if !s.AllowNoRoute {
+		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", s.Name, pkt.Dst))
+	}
+	s.Pool.Put(pkt)
+}
+
+// dropAdmission is the buffer-refusal cold path: trace and recycle.
+//
+//go:noinline
+func (s *Switch) dropAdmission(pkt *Packet, out *Port, prio int) {
+	s.traceDrop(pkt, out, prio)
+	s.Pool.Put(pkt)
+}
+
+// maybeMark applies ECN marking to an admitted ECT data packet. The RNG
+// draw happens here, exactly as often as the pre-flattening code drew it
+// for a marking-capable configuration.
+func (s *Switch) maybeMark(pkt *Packet, out *Port, prio, size int) {
+	if s.Buffer.ecnMark(out.queues[prio].bytes+size, pkt.VPrio, s.rng.Float64()) {
+		pkt.CE = true
+		s.ECNMarks++
+		if s.Trace != nil {
+			s.Trace.Trace(obs.Event{
+				T: s.Eng.Now(), Kind: obs.Mark,
+				Dev: s.Name, Port: out.Index, Queue: prio,
+				Flow: pkt.FlowID, Seq: pkt.Seq,
+				Bytes: size, QLen: out.queues[prio].bytes + size,
+			})
+		}
+	}
 }
 
 // traceDrop emits a Drop event for a packet refused by buffer admission.

@@ -97,6 +97,17 @@ type Engine struct {
 	npending  int // scheduled, not yet fired or canceled
 	ncanceled int // canceled entries still occupying queue slots
 
+	// Dispatch-position tracking for reserved-seq events (ReserveSeq /
+	// PostAtSeq). inBatch and batchPos locate the running batch so a
+	// reserved-seq event filed at the current timestamp can be spliced in
+	// at its seq position; lastAt/lastSeq record the most recently
+	// reached batch entry so callers can ask whether a reserved position
+	// has already been passed (ReachedSeq).
+	inBatch  bool
+	batchPos int
+	lastAt   Time
+	lastSeq  uint64
+
 	// Clock-driven sampler (SetSampler). sampleAt is the next sampling
 	// instant, maxTime when disabled, so the hot loop pays one always-false
 	// comparison per event when no sampler is installed.
@@ -201,6 +212,74 @@ func (e *Engine) Post2(d Time, fn func(a, b any), a, b any) {
 	ev.a0, ev.a1 = a, b
 }
 
+// ReserveSeq allocates and returns a dispatch sequence number without
+// scheduling anything. An event later filed under it with PostAtSeq gets
+// the FIFO rank it would have had if it had been scheduled at reservation
+// time. The port transmitter uses this to arm its wake event lazily — only
+// when something actually needs one — while keeping every same-timestamp
+// tie-break bit-identical to the former scheme that eagerly scheduled a
+// completion event per transmission. A reserved seq that is never used
+// simply leaves a harmless gap in the sequence space.
+func (e *Engine) ReserveSeq() uint64 {
+	s := e.seq
+	e.seq++
+	return s
+}
+
+// PostAtSeq schedules fn at absolute time t under a seq previously
+// obtained from ReserveSeq. If t is the current timestamp and the batch
+// running at it has not yet passed the reserved position, the event is
+// spliced into the running batch at that position — exactly as if it had
+// been in the queue when the batch was collected. Each reserved seq must
+// be filed at most once, and only at a (t, seq) position not yet reached
+// (ReachedSeq reports that).
+func (e *Engine) PostAtSeq(t Time, fn func(), seq uint64) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = seq
+	ev.state = evPending
+	ev.fn = fn
+	e.npending++
+	ent := entry{at: t, seq: seq, ev: ev}
+	if t == e.now && e.inBatch && seq > e.batch[e.batchPos].seq {
+		e.spliceBatch(ent)
+		return
+	}
+	e.place(ent)
+}
+
+// spliceBatch inserts ent into the undispatched remainder of the running
+// batch at its seq position.
+func (e *Engine) spliceBatch(ent entry) {
+	i := e.batchPos + 1
+	for i < len(e.batch) && e.batch[i].seq < ent.seq {
+		i++
+	}
+	e.batch = append(e.batch, entry{})
+	copy(e.batch[i+1:], e.batch[i:])
+	e.batch[i] = ent
+}
+
+// ReachedSeq reports whether dispatch has reached or passed position
+// (t, seq): a later batch has started, or the batch at t has dispatched
+// (or skipped) an entry with that seq or higher. Callers holding a
+// reserved seq use this to decide between acting inline (the position is
+// behind us, as if the reserved event had already fired finding nothing
+// to do) and filing the event with PostAtSeq.
+func (e *Engine) ReachedSeq(t Time, seq uint64) bool {
+	return e.lastAt > t || (e.lastAt == t && e.lastSeq >= seq)
+}
+
 // Cancel removes ev from the schedule in O(1) by marking it; the queue
 // slot is reclaimed lazily. Canceling an already-fired or already-canceled
 // event is a no-op.
@@ -297,11 +376,13 @@ func (e *Engine) RunUntil(end Time) {
 // pass: the whole batch is popped off the due heap up front (in seq order
 // — the heap yields equal-timestamp entries FIFO), then dispatched without
 // re-consulting the queue between callbacks. Events a callback schedules
-// at the same timestamp carry higher seqs and fire right after the batch;
-// a callback canceling a later batch member takes effect because each
-// member's state is checked at dispatch. On Stop, the undispatched
-// remainder is pushed back so a later run resumes exactly where this one
-// ended.
+// at the same timestamp carry higher seqs and fire right after the batch —
+// except reserved-seq events (PostAtSeq), which are spliced into the
+// undispatched remainder at their seq position, so the loop re-reads
+// e.batch and its length each step. A callback canceling a later batch
+// member takes effect because each member's state is checked at dispatch.
+// On Stop, the undispatched remainder is pushed back so a later run
+// resumes exactly where this one ended.
 func (e *Engine) runBatch(at Time) {
 	b := e.batch[:0]
 	for len(e.due) > 0 && e.due[0].at == at {
@@ -309,7 +390,11 @@ func (e *Engine) runBatch(at Time) {
 	}
 	e.batch = b
 	e.now = at
-	for i, ent := range b {
+	e.inBatch = true
+	for i := 0; i < len(e.batch); i++ {
+		e.batchPos = i
+		ent := e.batch[i]
+		e.lastAt, e.lastSeq = ent.at, ent.seq
 		ev := ent.ev
 		if ev.state == evCanceled {
 			e.ncanceled--
@@ -329,11 +414,12 @@ func (e *Engine) runBatch(at Time) {
 			fn()
 		}
 		if e.stopped {
-			for _, rest := range b[i+1:] {
+			for _, rest := range e.batch[i+1:] {
 				e.due.push(rest)
 			}
 			break
 		}
 	}
+	e.inBatch = false
 	e.batch = e.batch[:0]
 }

@@ -479,3 +479,74 @@ func TestTotalProcessedAccumulates(t *testing.T) {
 		t.Errorf("TotalProcessed grew by %d, want >= %d", got, n)
 	}
 }
+
+// TestReserveSeqOrdering: an event filed under a reserved seq dispatches
+// exactly where an event scheduled at reservation time would have — ahead
+// of same-timestamp events scheduled after the reservation, regardless of
+// how late the reserved event is actually filed.
+func TestReserveSeqOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	seq := e.ReserveSeq() // rank reserved before the rival exists
+	e.At(50*Nanosecond, func() { order = append(order, "rival") })
+	e.At(10*Nanosecond, func() {
+		e.PostAtSeq(50*Nanosecond, func() { order = append(order, "reserved") }, seq)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "reserved" || order[1] != "rival" {
+		t.Fatalf("order = %v, want [reserved rival]", order)
+	}
+}
+
+// TestPostAtSeqSplicesRunningBatch: filing a reserved seq at the current
+// timestamp from inside the running batch splices it in at its rank — the
+// members scheduled after the reservation still run after it, exactly as
+// if the reserved event had been in the queue when the batch was
+// collected.
+func TestPostAtSeqSplicesRunningBatch(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var reserved uint64
+	const at = 20 * Nanosecond
+	e.At(at, func() {
+		order = append(order, "a")
+		// Runs while the batch at t=20ns is mid-dispatch; rank sits
+		// between a and b.
+		e.PostAtSeq(at, func() { order = append(order, "reserved") }, reserved)
+	})
+	reserved = e.ReserveSeq()
+	e.At(at, func() { order = append(order, "b") })
+	e.At(at, func() { order = append(order, "c") })
+	e.Run()
+	if len(order) != 4 || order[0] != "a" || order[1] != "reserved" ||
+		order[2] != "b" || order[3] != "c" {
+		t.Fatalf("order = %v, want [a reserved b c]", order)
+	}
+}
+
+// TestReachedSeqTracksDispatch: ReachedSeq flips exactly when dispatch
+// passes the reserved position — members of the same batch ranked before
+// it still see it unreached, members after it see it reached even though
+// no event was ever filed under it.
+func TestReachedSeqTracksDispatch(t *testing.T) {
+	e := NewEngine()
+	const at = 30 * Nanosecond
+	var reserved uint64
+	var before, after bool
+	e.At(at, func() { before = e.ReachedSeq(at, reserved) })
+	reserved = e.ReserveSeq()
+	e.At(at, func() { after = e.ReachedSeq(at, reserved) })
+	e.Run()
+	if before {
+		t.Error("ReachedSeq true before dispatch passed the reserved rank")
+	}
+	if !after {
+		t.Error("ReachedSeq false after dispatch passed the reserved rank")
+	}
+	if !e.ReachedSeq(at, reserved) {
+		t.Error("ReachedSeq false after the batch completed")
+	}
+	if e.ReachedSeq(at+Nanosecond, e.ReserveSeq()) {
+		t.Error("ReachedSeq true for a future position")
+	}
+}

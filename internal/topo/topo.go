@@ -49,6 +49,24 @@ type Network struct {
 	Hosts    []*netsim.Host
 	Switches []*netsim.Switch
 	Cfg      Config
+
+	// Routing state reused across computeRoutes/path calls: the
+	// switch-to-node index is built once (the device set is fixed after
+	// the builder returns), and the BFS scratch keeps its capacity so
+	// RecomputeRoutes — called on every fault-plan link event — and the
+	// per-flow BaseRTT path walks stop allocating in steady state.
+	swIndex map[*netsim.Switch]int
+	adj     [][]edge
+	dist    []int
+	queue   []int
+	ports   []int32
+}
+
+// edge is one usable link out of a graph node: the peer's node index and,
+// for switch nodes, the local egress port.
+type edge struct {
+	peer int
+	port int32
 }
 
 // connectHost attaches host h to switch sw with the host-link parameters.
@@ -86,17 +104,28 @@ func (n *Network) finalize() {
 	}
 }
 
-// deviceIndex assigns a graph node index to every device: hosts first,
-// then switches.
-func (n *Network) deviceIndex(d netsim.Device) int {
+// ensureIndex builds the switch-to-node map once. Node numbering: hosts
+// occupy 0..len(Hosts)-1 (their IDs), switches follow in Switches order.
+func (n *Network) ensureIndex() {
+	if len(n.swIndex) == len(n.Switches) && n.swIndex != nil {
+		return
+	}
+	n.swIndex = make(map[*netsim.Switch]int, len(n.Switches))
+	for i, sw := range n.Switches {
+		n.swIndex[sw] = len(n.Hosts) + i
+	}
+}
+
+// nodeOf maps a device to its graph node index in O(1) via the persistent
+// switch index (replacing the former per-device linear scan and the
+// per-call index rebuilds in computeRoutes and path).
+func (n *Network) nodeOf(d netsim.Device) int {
 	switch v := d.(type) {
 	case *netsim.Host:
 		return v.ID
 	case *netsim.Switch:
-		for i, sw := range n.Switches {
-			if sw == v {
-				return len(n.Hosts) + i
-			}
+		if i, ok := n.swIndex[v]; ok {
+			return i
 		}
 	}
 	panic("topo: unknown device")
@@ -113,26 +142,24 @@ func (n *Network) RecomputeRoutes() {
 }
 
 // computeRoutes runs a BFS from every host and installs ECMP next-hop sets
-// on every switch. Links with a downed end are treated as absent.
+// in every switch's dense route table. Links with a downed end are treated
+// as absent. All scratch (adjacency, BFS arrays, the per-destination port
+// set) and the switches' route arenas are reused across calls, so a
+// recompute allocates nothing once capacities have grown.
 func (n *Network) computeRoutes() {
 	nh := len(n.Hosts)
 	total := nh + len(n.Switches)
+	n.ensureIndex()
 
-	// Adjacency: for each switch node, its ports and peer node indexes.
-	type edge struct {
-		peer int
-		port int32
+	// Adjacency: for each node, its usable links under current link state.
+	if cap(n.adj) < total {
+		grown := make([][]edge, total)
+		copy(grown, n.adj)
+		n.adj = grown
 	}
-	adj := make([][]edge, total)
-	swIndex := make(map[*netsim.Switch]int, len(n.Switches))
-	for i, sw := range n.Switches {
-		swIndex[sw] = nh + i
-	}
-	nodeOf := func(d netsim.Device) int {
-		if h, ok := d.(*netsim.Host); ok {
-			return h.ID
-		}
-		return swIndex[d.(*netsim.Switch)]
+	adj := n.adj[:total]
+	for i := range adj {
+		adj[i] = adj[i][:0]
 	}
 	for i, sw := range n.Switches {
 		si := nh + i
@@ -143,8 +170,13 @@ func (n *Network) computeRoutes() {
 			if p.IsDown() || p.Peer.IsDown() {
 				continue
 			}
-			adj[si] = append(adj[si], edge{peer: nodeOf(p.Peer.Owner), port: int32(pi)})
+			adj[si] = append(adj[si], edge{peer: n.nodeOf(p.Peer.Owner), port: int32(pi)})
 		}
+		// The rebuild covers every destination below; clearing up front
+		// (keeping the arena's capacity) removes stale entries for
+		// destinations that became unreachable, so forwarding fails fast
+		// instead of spraying into a black hole.
+		sw.ResetRoutes(nh)
 	}
 	// Host adjacency (for BFS traversal only).
 	for _, h := range n.Hosts {
@@ -154,20 +186,22 @@ func (n *Network) computeRoutes() {
 		if h.NIC.IsDown() || h.NIC.Peer.IsDown() {
 			continue
 		}
-		adj[h.ID] = append(adj[h.ID], edge{peer: nodeOf(h.NIC.Peer.Owner)})
+		adj[h.ID] = append(adj[h.ID], edge{peer: n.nodeOf(h.NIC.Peer.Owner)})
 	}
 
-	dist := make([]int, total)
-	queue := make([]int, 0, total)
+	if cap(n.dist) < total {
+		n.dist = make([]int, total)
+	}
+	dist := n.dist[:total]
+	queue, ports := n.queue, n.ports
 	for dst := 0; dst < nh; dst++ {
 		for i := range dist {
 			dist[i] = -1
 		}
 		dist[dst] = 0
 		queue = append(queue[:0], dst)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			for _, e := range adj[u] {
 				if dist[e.peer] < 0 {
 					dist[e.peer] = dist[u] + 1
@@ -178,25 +212,20 @@ func (n *Network) computeRoutes() {
 		for i, sw := range n.Switches {
 			si := nh + i
 			if dist[si] < 0 {
-				// Unreachable (possibly partitioned by downed links): drop
-				// any stale entry so forwarding fails fast instead of
-				// spraying into a black hole.
-				delete(sw.Routes, dst)
-				continue
+				continue // unreachable: entry already cleared by ResetRoutes
 			}
-			var ports []int32
+			ports = ports[:0]
 			for _, e := range adj[si] {
 				if dist[e.peer] == dist[si]-1 {
 					ports = append(ports, e.port)
 				}
 			}
 			if len(ports) > 0 {
-				sw.Routes[dst] = ports
-			} else {
-				delete(sw.Routes, dst)
+				sw.SetRoute(dst, ports)
 			}
 		}
 	}
+	n.queue, n.ports = queue[:0], ports[:0]
 }
 
 // BaseRTT returns the unloaded round-trip time between two hosts for a
@@ -218,7 +247,9 @@ type hop struct {
 	delay sim.Time
 }
 
-// path returns the sequence of links on one shortest path src -> dst.
+// path returns the sequence of links on one shortest path src -> dst. It
+// shares the persistent node index and BFS scratch with computeRoutes
+// (path runs at flow-setup time, never while a recompute is in progress).
 func (n *Network) path(src, dst int) []hop {
 	if src == dst {
 		return nil
@@ -226,45 +257,41 @@ func (n *Network) path(src, dst int) []hop {
 	// BFS from dst so we can walk downhill from src.
 	nh := len(n.Hosts)
 	total := nh + len(n.Switches)
-	dist := make([]int, total)
+	n.ensureIndex()
+	if cap(n.dist) < total {
+		n.dist = make([]int, total)
+	}
+	dist := n.dist[:total]
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[dst] = 0
-	queue := []int{dst}
-	swIndex := make(map[*netsim.Switch]int, len(n.Switches))
-	for i, sw := range n.Switches {
-		swIndex[sw] = nh + i
-	}
-	nodeOf := func(d netsim.Device) int {
-		if h, ok := d.(*netsim.Host); ok {
-			return h.ID
-		}
-		return swIndex[d.(*netsim.Switch)]
-	}
+	queue := append(n.queue[:0], dst)
+	var hostPort [1]*netsim.Port
 	neighbors := func(u int) []*netsim.Port {
 		if u < nh {
-			return []*netsim.Port{n.Hosts[u].NIC}
+			hostPort[0] = n.Hosts[u].NIC
+			return hostPort[:]
 		}
 		return n.Switches[u-nh].Ports
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, p := range neighbors(u) {
-			v := nodeOf(p.Peer.Owner)
+			v := n.nodeOf(p.Peer.Owner)
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
 			}
 		}
 	}
+	n.queue = queue[:0]
 	var hops []hop
 	u := src
 	for u != dst {
 		advanced := false
 		for _, p := range neighbors(u) {
-			v := nodeOf(p.Peer.Owner)
+			v := n.nodeOf(p.Peer.Owner)
 			if dist[v] == dist[u]-1 {
 				hops = append(hops, hop{rate: p.Rate, delay: p.PropDelay})
 				u = v

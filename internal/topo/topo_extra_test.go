@@ -93,7 +93,7 @@ func TestRoutesCoverAllHostsOnAllSwitches(t *testing.T) {
 	n := FatTree(sim.NewEngine(), 4, DefaultConfig())
 	for _, sw := range n.Switches {
 		for dst := range n.Hosts {
-			if len(sw.Routes[dst]) == 0 {
+			if len(sw.Route(dst)) == 0 {
 				t.Fatalf("switch %s has no route to host %d", sw.Name, dst)
 			}
 		}

@@ -91,8 +91,8 @@ func TestFatTreeECMPUsesMultiplePaths(t *testing.T) {
 	// equal-cost uplinks.
 	edge := n.Switches[4] // first non-core switch is pod0 edge0 (4 cores first)
 	foundMulti := false
-	for dst, ports := range edge.Routes {
-		if dst >= 4 && len(ports) > 1 { // host in another pod
+	for dst := 0; dst < edge.RouteDests(); dst++ {
+		if dst >= 4 && len(edge.Route(dst)) > 1 { // host in another pod
 			foundMulti = true
 		}
 	}

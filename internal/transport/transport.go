@@ -8,6 +8,7 @@ package transport
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"prioplus/internal/cc"
@@ -65,6 +66,30 @@ type Stack struct {
 	senders map[int64]*Sender
 	recvs   map[int64]*recvState
 	segfree []*segment // recycled segment records, shared by this host's flows
+
+	// One-entry caches in front of the flow maps: consecutive packets
+	// overwhelmingly belong to the same flow, so the per-packet lookup is
+	// a pointer compare instead of a map hash. lastSender is invalidated
+	// when its flow completes (the map entry is deleted there, and flow
+	// IDs may be reused by a later flow); recvState entries are never
+	// deleted, so lastRecv needs no invalidation.
+	lastSender   *Sender
+	lastSenderID int64
+	lastRecv     *recvState
+	lastRecvID   int64
+}
+
+// senderFor resolves the sending flow for an ACK, through the one-entry
+// cache. Returns nil for unknown (completed) flows, like the map did.
+func (st *Stack) senderFor(id int64) *Sender {
+	if st.lastSender != nil && st.lastSenderID == id {
+		return st.lastSender
+	}
+	s := st.senders[id]
+	if s != nil {
+		st.lastSender, st.lastSenderID = s, id
+	}
+	return s
 }
 
 // getSeg returns a zeroed segment, recycled when possible.
@@ -123,7 +148,7 @@ func (st *Stack) handle(pkt *netsim.Packet) {
 	case netsim.Data:
 		st.onData(pkt) // recycles pkt once the ACK is built
 	case netsim.Ack:
-		if s, ok := st.senders[pkt.FlowID]; ok {
+		if s := st.senderFor(pkt.FlowID); s != nil {
 			s.onAck(pkt)
 		}
 		st.Pool.Put(pkt)
@@ -135,7 +160,7 @@ func (st *Stack) handle(pkt *netsim.Packet) {
 		st.Host.Send(st.Pool.ProbeAck(pkt, prio))
 		st.Pool.Put(pkt)
 	case netsim.ProbeAck:
-		if s, ok := st.senders[pkt.FlowID]; ok {
+		if s := st.senderFor(pkt.FlowID); s != nil {
 			s.onProbeAck(pkt)
 		}
 		st.Pool.Put(pkt)
@@ -143,10 +168,15 @@ func (st *Stack) handle(pkt *netsim.Packet) {
 }
 
 func (st *Stack) onData(pkt *netsim.Packet) {
-	r, ok := st.recvs[pkt.FlowID]
-	if !ok {
-		r = &recvState{}
-		st.recvs[pkt.FlowID] = r
+	r := st.lastRecv
+	if r == nil || st.lastRecvID != pkt.FlowID {
+		var ok bool
+		r, ok = st.recvs[pkt.FlowID]
+		if !ok {
+			r = &recvState{}
+			st.recvs[pkt.FlowID] = r
+		}
+		st.lastRecv, st.lastRecvID = r, pkt.FlowID
 	}
 	switch {
 	case pkt.Seq == r.cum:
@@ -237,10 +267,10 @@ type Sender struct {
 
 	sndNxt      int64
 	sndUna      int64
-	unacked     map[int64]*segment // sent and not yet acknowledged
-	minOut      int64              // lower bound on the smallest unacked seq
-	lossScanned int64              // high-water mark of the loss-detection walk
-	retxq       []int64            // sequences to retransmit, FIFO
+	unacked     segTable // sent and not yet acknowledged, by segment start
+	minOut      int64    // lower bound on the smallest unacked seq
+	lossScanned int64    // high-water mark of the loss-detection walk
+	retxq       []int64  // sequences to retransmit, FIFO
 	inflight    int
 
 	srtt        sim.Time
@@ -285,11 +315,11 @@ func (st *Stack) NewFlow(spec FlowSpec) *Sender {
 		panic(fmt.Sprintf("transport: duplicate flow id %d", spec.ID))
 	}
 	s := &Sender{
-		st:      st,
-		spec:    spec,
-		mtu:     spec.MTU,
-		unacked: make(map[int64]*segment),
+		st:   st,
+		spec: spec,
+		mtu:  spec.MTU,
 	}
+	s.unacked.init(int64(s.mtu))
 	st.senders[spec.ID] = s
 	return s
 }
@@ -410,9 +440,87 @@ func (s *Sender) sendProbe() {
 // whether its bytes are currently included in the inflight total; a
 // segment declared lost is uncounted until retransmitted.
 type segment struct {
+	seq     int64 // segment start, the segTable validation key
 	length  int
 	counted bool
 	queued  bool // pending in the retransmit queue
+}
+
+// segTable maps MTU-strided segment starts to in-flight segment records,
+// replacing the former map[int64]*segment on the per-ACK hot path (the
+// map's hashing dominated ACK processing). Slot selection is
+// (seq/mtu) & mask; because live starts are distinct multiples of the MTU
+// spanning at most the largest window the flow has reached, the table
+// stays collision-free once it covers that span — put grows it the first
+// time two live segments would share a slot. Every record stores its own
+// seq and lookups validate it, so an ACK for a long-retired sequence
+// misses exactly like the map did.
+//
+// The seq/mtu divide is a multiply by the fixed-point reciprocal
+// magic = ceil(2^64/mtu): with e = magic*mtu - 2^64 in [0, mtu), the
+// error term seq*e/(mtu*2^64) stays below 1/mtu for every seq < 2^64/mtu,
+// so hi64(seq*magic) == seq/mtu exactly for all sequence numbers below
+// 2^64/mtu >= 2^50 bytes — far past any representable flow.
+type segTable struct {
+	slots  []*segment
+	mask   int64
+	n      int
+	stride int64  // the flow's MTU; segment starts are multiples of it
+	magic  uint64 // ceil(2^64/stride)
+}
+
+func (t *segTable) init(stride int64) {
+	t.stride = stride
+	t.magic = ^uint64(0)/uint64(stride) + 1
+}
+
+func (t *segTable) idx(seq int64) int64 {
+	hi, _ := bits.Mul64(uint64(seq), t.magic)
+	return int64(hi)
+}
+
+func (t *segTable) get(seq int64) *segment {
+	if t.n == 0 {
+		return nil
+	}
+	if seg := t.slots[t.idx(seq)&t.mask]; seg != nil && seg.seq == seq {
+		return seg
+	}
+	return nil
+}
+
+func (t *segTable) put(seq int64, seg *segment) {
+	if t.slots == nil {
+		t.growTo(64)
+	}
+	for t.slots[t.idx(seq)&t.mask] != nil {
+		// A live segment already sits here: the window outgrew the table.
+		t.growTo(2 * len(t.slots))
+	}
+	t.slots[t.idx(seq)&t.mask] = seg
+	t.n++
+}
+
+func (t *segTable) del(seq int64) {
+	i := t.idx(seq) & t.mask
+	if t.slots[i] != nil && t.slots[i].seq == seq {
+		t.slots[i] = nil
+		t.n--
+	}
+}
+
+// growTo rehashes into a table of the given power-of-two size. Live
+// indexes are distinct and span less than the new size, so reinsertion
+// cannot collide.
+func (t *segTable) growTo(size int) {
+	old := t.slots
+	t.slots = make([]*segment, size)
+	t.mask = int64(size - 1)
+	for _, seg := range old {
+		if seg != nil {
+			t.slots[t.idx(seg.seq)&t.mask] = seg
+		}
+	}
 }
 
 // nextSeq returns the next payload to transmit: retransmissions first,
@@ -420,7 +528,7 @@ type segment struct {
 func (s *Sender) nextSeq() (seq int64, length int, retx, ok bool) {
 	for len(s.retxq) > 0 {
 		seq = s.retxq[0]
-		if seg, lost := s.unacked[seq]; lost {
+		if seg := s.unacked.get(seq); seg != nil {
 			return seq, seg.length, true, true
 		}
 		s.retxq = s.retxq[1:] // already acked meanwhile
@@ -483,7 +591,7 @@ func (s *Sender) emit(seq int64, length int, retx bool) {
 	if retx {
 		s.retxq = s.retxq[1:]
 		s.Retransmits++
-		if seg := s.unacked[seq]; seg != nil {
+		if seg := s.unacked.get(seq); seg != nil {
 			seg.queued = false
 			if !seg.counted {
 				seg.counted = true
@@ -492,9 +600,10 @@ func (s *Sender) emit(seq int64, length int, retx bool) {
 		}
 	} else {
 		seg := s.st.getSeg()
+		seg.seq = seq
 		seg.length = length
 		seg.counted = true
-		s.unacked[seq] = seg
+		s.unacked.put(seq, seg)
 		s.sndNxt = seq + int64(length)
 		s.inflight += length
 	}
@@ -565,7 +674,7 @@ func (s *Sender) onRTO() {
 	s.advanceMin()
 	s.lossScanned = s.minOut
 	for seq := s.minOut; seq < s.sndNxt; seq += int64(s.mtu) {
-		if _, ok := s.unacked[seq]; ok {
+		if s.unacked.get(seq) != nil {
 			s.queueRetx(seq)
 		}
 	}
@@ -576,7 +685,7 @@ func (s *Sender) onRTO() {
 // queueRetx declares a segment lost: its bytes leave the inflight total so
 // the window admits the retransmission.
 func (s *Sender) queueRetx(seq int64) {
-	seg := s.unacked[seq]
+	seg := s.unacked.get(seq)
 	if seg == nil || seg.queued {
 		return
 	}
@@ -593,7 +702,7 @@ func (s *Sender) queueRetx(seq int64) {
 // and, being monotone, amortized O(1) per acknowledgment.
 func (s *Sender) advanceMin() {
 	for s.minOut < s.sndNxt {
-		if _, ok := s.unacked[s.minOut]; ok {
+		if s.unacked.get(s.minOut) != nil {
 			return
 		}
 		s.minOut += int64(s.mtu)
@@ -619,8 +728,8 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 	}
 
 	newly := 0
-	if seg, ok := s.unacked[pkt.Seq]; ok {
-		delete(s.unacked, pkt.Seq)
+	if seg := s.unacked.get(pkt.Seq); seg != nil {
+		s.unacked.del(pkt.Seq)
 		if seg.counted {
 			s.inflight -= seg.length
 		}
@@ -631,11 +740,11 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 		// Cumulative advance: clear anything below it. Segment starts are
 		// MTU-strided, so walking the cursor is amortized O(1) per ACK.
 		for seq := s.minOut; seq < pkt.AckSeq; seq += int64(s.mtu) {
-			seg, ok := s.unacked[seq]
-			if !ok {
+			seg := s.unacked.get(seq)
+			if seg == nil {
 				continue
 			}
-			delete(s.unacked, seq)
+			s.unacked.del(seq)
 			if seg.counted {
 				s.inflight -= seg.length
 			}
@@ -658,7 +767,7 @@ func (s *Sender) onAck(pkt *netsim.Packet) {
 		threshold := pkt.Seq - int64(3*s.mtu)
 		seq := max(s.minOut, s.lossScanned)
 		for ; seq <= threshold; seq += int64(s.mtu) {
-			if _, ok := s.unacked[seq]; ok {
+			if s.unacked.get(seq) != nil {
 				s.queueRetx(seq)
 			}
 		}
@@ -768,6 +877,9 @@ func (s *Sender) complete() {
 	}
 	s.paceEv, s.rtoEv, s.probeEv = nil, nil, nil
 	delete(s.st.senders, s.spec.ID)
+	if s.st.lastSender == s {
+		s.st.lastSender = nil
+	}
 	if s.st.OnFlowDone != nil {
 		s.st.OnFlowDone(FlowStats{
 			ID:          s.spec.ID,
