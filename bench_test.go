@@ -153,6 +153,35 @@ func BenchmarkFig10bIncastObs(b *testing.B) {
 	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
 }
 
+// BenchmarkFig10bIncastFullObs: the same incast with everything on —
+// series, histograms, per-event-kind cost attribution, host runtime
+// gauges, and the live-progress bridge. This is the `-series -hist -cost
+// -runtime -listen` configuration; the acceptance bar is < 10% over
+// BenchmarkFig10bIncast.
+func BenchmarkFig10bIncastFullObs(b *testing.B) {
+	var r exp.Fig10bResult
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+		rec.Hist = obs.NewHistSet()
+		rec.Cost = &obs.CostProfiler{}
+		rec.Runtime = &obs.RuntimeSampler{}
+		rec.Live = &obs.LiveRun{}
+		r = exp.Fig10b(80, exp.Options{Recorder: rec})
+		if rec.Series.Ticks() == 0 {
+			b.Fatal("sampler never fired")
+		}
+		if rec.Cost.TotalNanos() == 0 {
+			b.Fatal("cost profiler recorded nothing")
+		}
+		if rec.Live.Events.Load() == 0 {
+			b.Fatal("live bridge never updated")
+		}
+	}
+	b.ReportMetric(r.WithinFrac, "within_channel_frac")
+	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
+}
+
 // BenchmarkFig10bIncastTrace: the same incast with causal flow tracing on
 // for four sampled flows — packet journeys at the default stride plus the
 // full CC decision audit. The acceptance bar is < 10% over

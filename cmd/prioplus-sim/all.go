@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"prioplus/internal/obs/stream"
 	"prioplus/internal/runner"
 	"prioplus/internal/sim"
 )
@@ -62,18 +63,45 @@ func runAll(args []string) int {
 		return 1
 	}
 
+	// -listen: register every run up front so /runs shows pending tasks,
+	// and tee artifact lines into the server's hub for /events.
+	var srv *stream.Server
+	var reg *runner.Registry
+	if obsOpt.listen != "" {
+		reg = &runner.Registry{}
+		srv = stream.NewServer(reg)
+		if err := srv.Start(obsOpt.listen); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live endpoints on http://%s (/metrics /runs /events)\n", srv.Addr())
+	}
+
 	var tasks []runner.Task
+	var states []*runner.RunState // parallel to tasks; nil without -listen
 	for _, id := range ids {
 		for _, seed := range seeds {
 			id, seed := id, seed
+			name := fmt.Sprintf("%s/seed=%d", id, seed)
+			taskObs := obsOpt
+			if reg != nil {
+				st := reg.Add(name, id, seed)
+				states = append(states, st)
+				taskObs.hub = srv.Hub
+				taskObs.live = st
+			}
 			tasks = append(tasks, runner.Task{
-				Name: fmt.Sprintf("%s/seed=%d", id, seed),
+				Name: name,
 				Run: func() (string, map[string]float64) {
+					if taskObs.live != nil {
+						taskObs.live.Start()
+					}
 					var buf bytes.Buffer
 					// Ids are validated above, so the only errors left are
 					// artifact writes; the panic lands in Result.Err and
 					// fails just this run.
-					if err := runExperiment(id, runOpts{full: *full, seed: seed, obs: obsOpt}, &buf); err != nil {
+					if err := runExperiment(id, runOpts{full: *full, seed: seed, obs: taskObs}, &buf); err != nil {
 						panic(err)
 					}
 					return buf.String(), nil
@@ -83,27 +111,41 @@ func runAll(args []string) int {
 	}
 
 	opts := runner.Options{Workers: *parallel, Timeout: *timeout}
-	if *progress {
-		// OnResult calls are serialized by the runner, so the counter and
-		// the stderr line need no extra locking.
-		done := 0
-		opts.OnResult = func(r runner.Result) {
-			done++
-			status := "ok"
+	// OnResult calls are serialized by the runner, so the counter and
+	// the stderr line need no extra locking. Run states finish here, not
+	// in the task closure, so timed-out runs are marked failed too.
+	done := 0
+	opts.OnResult = func(r runner.Result) {
+		if states != nil {
+			msg := ""
 			if r.Err != nil {
-				status = "FAIL"
+				msg = r.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "\r[%d/%d] %-24s %-4s", done, len(tasks), r.Name, status)
+			states[r.Index].Finish(msg)
 		}
+		if !*progress {
+			return
+		}
+		done++
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "\r[%d/%d] %-24s %-4s", done, len(tasks), r.Name, status)
 	}
-	startEvents := sim.TotalProcessed()
+	startEvents := sim.TotalEvents()
+	startDispatched := sim.TotalProcessed()
 	startWall := time.Now()
 	results := runner.Run(tasks, opts)
 	wall := time.Since(startWall)
 	if *progress {
 		fmt.Fprintf(os.Stderr, "\r%*s\r", 40, "")
 	}
-	events := sim.TotalProcessed() - startEvents
+	// Two event bases (see sim.TotalEvents): "events" is the logical count,
+	// stable across engine optimizations; "dispatched" is raw dispatches,
+	// which elision optimizations shrink. Rates use the logical basis.
+	events := sim.TotalEvents() - startEvents
+	dispatched := sim.TotalProcessed() - startDispatched
 
 	failures := 0
 	for _, r := range results {
@@ -117,12 +159,12 @@ func runAll(args []string) int {
 			fmt.Print(indent(r.Output))
 		}
 	}
-	fmt.Printf("\n%d/%d runs ok, %d workers, wall %.2fs, %d events, %.3gM events/sec\n",
+	fmt.Printf("\n%d/%d runs ok, %d workers, wall %.2fs, %d logical events (%d dispatched), %.3gM events/sec (logical basis)\n",
 		len(results)-failures, len(results), *parallel, wall.Seconds(),
-		events, float64(events)/wall.Seconds()/1e6)
+		events, dispatched, float64(events)/wall.Seconds()/1e6)
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, results, seeds, *parallel, *full, wall, events); err != nil {
+		if err := writeJSON(*jsonOut, results, seeds, *parallel, *full, wall, events, dispatched); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -171,24 +213,34 @@ type runJSON struct {
 	Error  string  `json:"error,omitempty"`
 }
 
+// eventsBasis documents the two event counters in batchJSON, so readers of
+// archived batch reports know which numbers are comparable across builds.
+const eventsBasis = "events counts logical events (dispatched + elided transmitter wake-ups), stable across engine optimizations; events_dispatched counts raw dispatches, which elision shrinks; events_per_sec uses the logical basis"
+
 type batchJSON struct {
-	Full         bool      `json:"full"`
-	Parallel     int       `json:"parallel"`
-	Seeds        []int64   `json:"seeds"`
-	WallMS       float64   `json:"wall_ms"`
-	Events       uint64    `json:"events"`
-	EventsPerSec float64   `json:"events_per_sec"`
-	Runs         []runJSON `json:"runs"`
+	Full     bool    `json:"full"`
+	Parallel int     `json:"parallel"`
+	Seeds    []int64 `json:"seeds"`
+	WallMS   float64 `json:"wall_ms"`
+	// Events is the logical event count; EventsDispatched the raw dispatch
+	// count; EventsBasis explains the difference (see sim.TotalEvents).
+	Events           uint64    `json:"events"`
+	EventsDispatched uint64    `json:"events_dispatched"`
+	EventsBasis      string    `json:"events_basis"`
+	EventsPerSec     float64   `json:"events_per_sec"`
+	Runs             []runJSON `json:"runs"`
 }
 
-func writeJSON(path string, results []runner.Result, seeds []int64, parallel int, full bool, wall time.Duration, events uint64) error {
+func writeJSON(path string, results []runner.Result, seeds []int64, parallel int, full bool, wall time.Duration, events, dispatched uint64) error {
 	doc := batchJSON{
-		Full:         full,
-		Parallel:     parallel,
-		Seeds:        seeds,
-		WallMS:       float64(wall.Microseconds()) / 1000,
-		Events:       events,
-		EventsPerSec: float64(events) / wall.Seconds(),
+		Full:             full,
+		Parallel:         parallel,
+		Seeds:            seeds,
+		WallMS:           float64(wall.Microseconds()) / 1000,
+		Events:           events,
+		EventsDispatched: dispatched,
+		EventsBasis:      eventsBasis,
+		EventsPerSec:     float64(events) / wall.Seconds(),
 	}
 	for _, r := range results {
 		rj := runJSON{Name: r.Name, WallMS: float64(r.Wall.Microseconds()) / 1000, Output: r.Output}

@@ -36,6 +36,8 @@ import (
 
 	"prioplus/internal/exp"
 	"prioplus/internal/obs"
+	"prioplus/internal/obs/stream"
+	"prioplus/internal/runner"
 	"prioplus/internal/sim"
 	"prioplus/internal/stats"
 )
@@ -69,6 +71,8 @@ func main() {
 		os.Exit(runReport(os.Args[2:]))
 	case "trace":
 		os.Exit(runTrace(os.Args[2:]))
+	case "watch":
+		os.Exit(runWatch(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet(expID, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's full scale")
@@ -94,7 +98,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var srv *stream.Server
+	var st *runner.RunState
+	if obsOpt.listen != "" {
+		reg := &runner.Registry{}
+		st = reg.Add(fmt.Sprintf("%s/seed=%d", expID, *seed), expID, *seed)
+		srv = stream.NewServer(reg)
+		if err := srv.Start(obsOpt.listen); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "live endpoints on http://%s (/metrics /runs /events)\n", srv.Addr())
+		obsOpt.hub = srv.Hub
+		obsOpt.live = st
+	}
+	if st != nil {
+		st.Start()
+	}
 	runErr := runExperiment(expID, runOpts{full: *full, series: *printSer, seed: *seed, obs: obsOpt}, os.Stdout)
+	if st != nil {
+		msg := ""
+		if runErr != nil {
+			msg = runErr.Error()
+		}
+		st.Finish(msg)
+	}
+	if srv != nil {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
@@ -110,6 +143,9 @@ type obsFlagSet struct {
 	hist       *bool
 	watchdog   *string
 	wdEvents   *int64
+	runtime    *bool
+	cost       *bool
+	listen     *string
 	traceFlows *int
 	traceMatch *string
 	traceEvery *int
@@ -123,6 +159,9 @@ func addObsFlags(fs *flag.FlagSet) obsFlagSet {
 		hist:       fs.Bool("hist", false, "record streaming histograms (FCT, fabric delay, ACK RTT) and print summaries"),
 		watchdog:   fs.String("watchdog", "", "in-flight bytes ceiling (e.g. 256m); tripping stops the run and dumps the flight recorder"),
 		wdEvents:   fs.Int64("watchdog-events", 0, "event-heap size ceiling for the watchdog (0 = off)"),
+		runtime:    fs.Bool("runtime", false, "merge host-process gauges (RSS, GC, events/sec) into the series; makes artifacts wall-clock dependent"),
+		cost:       fs.Bool("cost", false, "attribute sampled per-event execution cost by event kind (artifact metrics + /metrics)"),
+		listen:     fs.String("listen", "", "serve live endpoints on this address (/metrics, /runs, /events SSE); e.g. :8080"),
 		traceFlows: fs.Int("trace-flows", 0, "flow-trace up to N flows (packet journeys + CC decision audit; needs -series)"),
 		traceMatch: fs.String("trace-match", "", "flow-trace exactly these comma-separated flow ids (needs -series)"),
 		traceEvery: fs.Int("trace-every", 0, "with -trace-flows, admit only a 1-in-K hash sample of flow ids"),
@@ -147,11 +186,15 @@ func (f obsFlagSet) resolve() (obsOpts, error) {
 	o := obsOpts{
 		dir: *f.seriesDir, hist: *f.hist,
 		maxBytes: maxBytes, maxEvents: *f.wdEvents,
+		runtime: *f.runtime, cost: *f.cost, listen: *f.listen,
 		traceFlows: *f.traceFlows, traceMatch: match,
 		traceEvery: *f.traceEvery, tracePackets: *f.tracePkts,
 	}
 	if o.tracing() && o.dir == "" {
 		return obsOpts{}, fmt.Errorf("flow tracing needs -series DIR: trace spans are only delivered through the timeline artifact")
+	}
+	if o.runtime && o.dir == "" && o.listen == "" {
+		return obsOpts{}, fmt.Errorf("-runtime needs -series DIR or -listen ADDR: runtime gauges are delivered as timeline series")
 	}
 	if o.dir != "" {
 		if err := os.MkdirAll(o.dir, 0o755); err != nil {
@@ -567,6 +610,7 @@ func usage() {
        prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full] [obs flags]
        prioplus-sim report [-width N] file.jsonl|dir...
        prioplus-sim trace [-flows a,b] [-journeys K] [-width N] file.jsonl|dir...
+       prioplus-sim watch [-interval d] [-once] ADDR
 
 obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -series DIR       write one timeline artifact (JSONL) per run into DIR
@@ -574,6 +618,15 @@ obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -watchdog BYTES   in-flight-bytes ceiling; tripping stops the run and
                     dumps the flight recorder (e.g. -watchdog 256m)
   -watchdog-events N  event-heap ceiling for the watchdog
+  -listen ADDR      serve live endpoints while running: /metrics (process
+                    gauges + cost attribution), /runs (batch state), and
+                    /events (artifact lines as SSE, byte-identical to the
+                    -series files); watch renders them as a dashboard
+  -runtime          merge host-process gauges (RSS, heap, GC, events/sec,
+                    wall-vs-sim) into the series; artifacts become
+                    wall-clock dependent, so keep it off when comparing
+  -cost             sampled per-event-kind cost attribution (artifact
+                    metrics cost/<kind>/{samples,ns} and /metrics)
   -trace-flows N    flow-trace up to N flows: per-packet hop journeys and
                     the CC decision audit, delivered via -series artifacts
                     and rendered by the trace subcommand
@@ -606,5 +659,6 @@ experiments:
                tails per scheme (see docs/ARCHITECTURE.md, Fault layer)
   all          every experiment above, fanned across a worker pool
   report       render -series artifacts as a text report
-  trace        render flow-trace artifacts as causal per-flow timelines`)
+  trace        render flow-trace artifacts as causal per-flow timelines
+  watch        live terminal dashboard over a -listen ADDR endpoint`)
 }

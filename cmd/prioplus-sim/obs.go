@@ -9,6 +9,8 @@ import (
 	"strings"
 
 	"prioplus/internal/obs"
+	"prioplus/internal/obs/stream"
+	"prioplus/internal/runner"
 	"prioplus/internal/sim"
 )
 
@@ -28,15 +30,25 @@ type obsOpts struct {
 	hist      bool   // -hist: streaming histograms plus printed summaries
 	maxBytes  int64  // -watchdog: in-flight bytes ceiling (0 = off)
 	maxEvents int64  // -watchdog-events: event-heap ceiling (0 = off)
+	runtime   bool   // -runtime: merge host-process gauges into the series
+	cost      bool   // -cost: sampled per-event-kind cost attribution
+	listen    string // -listen: live HTTP endpoint address ("" = off)
 
 	traceFlows   int     // -trace-flows: flow-trace cap (0 = off)
 	traceMatch   []int64 // -trace-match: explicit flow ids to trace
 	traceEvery   int     // -trace-every: 1-in-K hash sample of flow ids
 	tracePackets int     // -trace-packets: journey stride (0 = default 16)
+
+	// hub and live are wired by main/runAll after resolve, not by flags:
+	// hub tees artifact lines to /events subscribers, live receives this
+	// run's progress gauges for /runs.
+	hub  *stream.Hub
+	live *runner.RunState
 }
 
 func (o obsOpts) enabled() bool {
-	return o.dir != "" || o.hist || o.maxBytes > 0 || o.maxEvents > 0 || o.tracing()
+	return o.dir != "" || o.hist || o.maxBytes > 0 || o.maxEvents > 0 ||
+		o.runtime || o.cost || o.hub != nil || o.live != nil || o.tracing()
 }
 
 // tracing reports whether flow tracing was requested.
@@ -77,8 +89,18 @@ func newObsSink(opts obsOpts, exp string, seed int64) *obsSink {
 // hands out so flush can write them after the experiment finishes.
 func (s *obsSink) recorder(tag string) *obs.Recorder {
 	rec := obs.NewRecorder()
-	if s.opts.dir != "" {
+	if s.opts.dir != "" || s.opts.hub != nil {
 		rec.Series = obs.NewSeriesSet(seriesInterval)
+	}
+	if s.opts.runtime && rec.Series != nil {
+		rec.Runtime = &obs.RuntimeSampler{}
+	}
+	if s.opts.cost {
+		rec.Cost = &obs.CostProfiler{}
+	}
+	if s.opts.live != nil {
+		rec.Live = &s.opts.live.Live
+		s.opts.live.SetPhase(tag)
 	}
 	if s.opts.hist {
 		rec.Hist = obs.NewHistSet()
@@ -134,8 +156,8 @@ func (s *obsSink) flush(w io.Writer) error {
 			fmt.Fprintf(w, "# watchdog tripped (%s) in run %q: engine stopped, last %d trace events in %s\n",
 				wd.Tripped(), r.tag, n, path)
 		}
-		if s.opts.dir != "" {
-			if err := writeArtifactFile(filepath.Join(s.opts.dir, stem+".jsonl"), r.tag, r.rec); err != nil {
+		if s.opts.dir != "" || s.opts.hub != nil {
+			if err := s.writeArtifact(stem, r.tag, r.rec); err != nil {
 				return err
 			}
 		}
@@ -153,16 +175,35 @@ func (s *obsSink) flush(w io.Writer) error {
 	return nil
 }
 
-func writeArtifactFile(path, tag string, rec *obs.Recorder) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// writeArtifact emits one run's artifact to the -series file and/or the
+// live hub. Both sinks see the same encoder output, so streamed lines are
+// byte-identical to the on-disk artifact.
+func (s *obsSink) writeArtifact(stem, tag string, rec *obs.Recorder) error {
+	var ws []io.Writer
+	var f *os.File
+	if s.opts.dir != "" {
+		var err error
+		f, err = os.Create(filepath.Join(s.opts.dir, stem+".jsonl"))
+		if err != nil {
+			return err
+		}
+		ws = append(ws, f)
 	}
-	if err := obs.WriteArtifact(f, tag, rec); err != nil {
-		f.Close()
-		return err
+	var lw *stream.LineWriter
+	if s.opts.hub != nil {
+		lw = s.opts.hub.ArtifactWriter(stem)
+		ws = append(ws, lw)
 	}
-	return f.Close()
+	err := obs.WriteArtifact(io.MultiWriter(ws...), tag, rec)
+	if lw != nil {
+		lw.Close()
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func dumpFlight(path string, fr *obs.FlightRecorder) (int, error) {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flag"
+
+	"prioplus/internal/obs/stream"
+)
+
+// runWatch is the `prioplus-sim watch` subcommand: a live terminal
+// dashboard over the /metrics and /runs endpoints of a simulator started
+// with -listen. It polls, computes an events/sec rate from successive
+// snapshots, and redraws; -once renders a single frame (no screen
+// clearing) for scripts and tests.
+func runWatch(args []string) int {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "poll and redraw period")
+	once := fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+	fs.Parse(args)
+	addr := fs.Arg(0)
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: prioplus-sim watch [-interval d] [-once] ADDR")
+		return 2
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+
+	var st watchState
+	failures := 0
+	for {
+		var m stream.MetricsSnapshot
+		var runs stream.RunsSnapshot
+		err := fetchJSON(addr+"/metrics", &m)
+		if err == nil {
+			err = fetchJSON(addr+"/runs", &runs)
+		}
+		switch {
+		case err != nil:
+			failures++
+			// A few failures are tolerated mid-run (server restart, blip);
+			// persistent ones mean the run is gone.
+			if *once || failures >= 5 {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		default:
+			failures = 0
+			frame := renderWatch(&st, addr, m, runs)
+			if *once {
+				fmt.Print(frame)
+				return 0
+			}
+			// Home + clear-to-end redraw keeps the frame flicker-free.
+			fmt.Print("\033[H\033[2J" + frame)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchJSON GETs url and decodes the JSON body into out.
+func fetchJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// watchState carries poll-to-poll context: the previous metrics snapshot
+// for rate math and the events/sec history behind the sparkline.
+type watchState struct {
+	prevSet    bool
+	prevEvents uint64
+	prevWallMS int64
+	rates      []float64
+}
+
+// watchSparkMax bounds the sparkline history (one rune per poll).
+const watchSparkMax = 32
+
+// renderWatch builds one dashboard frame. It is deterministic given the
+// state and the two snapshots, so tests can pin frames.
+func renderWatch(st *watchState, addr string, m stream.MetricsSnapshot, runs stream.RunsSnapshot) string {
+	// Events/sec over the poll window, from the per-run live counters
+	// (process totals only flush between run phases, so they lag mid-run).
+	if st.prevSet && m.WallUnixMS > st.prevWallMS && runs.Batch.Events >= st.prevEvents {
+		dt := float64(m.WallUnixMS-st.prevWallMS) / 1e3
+		st.rates = append(st.rates, float64(runs.Batch.Events-st.prevEvents)/dt)
+		if len(st.rates) > watchSparkMax {
+			st.rates = st.rates[len(st.rates)-watchSparkMax:]
+		}
+	}
+	st.prevSet, st.prevEvents, st.prevWallMS = true, runs.Batch.Events, m.WallUnixMS
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "prioplus-sim watch — %s — %s\n", addr,
+		time.UnixMilli(m.WallUnixMS).UTC().Format("15:04:05Z"))
+	fmt.Fprintf(&b, "batch   %d runs: %d done, %d running, %d pending, %d failed · %s events\n",
+		runs.Batch.Total, runs.Batch.Done, runs.Batch.Running, runs.Batch.Pending,
+		runs.Batch.Failed, fmtCount(float64(runs.Batch.Events)))
+	fmt.Fprintf(&b, "runtime rss %s · heap %s · gc %.0f (%.1fms paused) · %.0f goroutines\n",
+		fmtBytes(m.Runtime.RSSBytes), fmtBytes(m.Runtime.HeapBytes),
+		m.Runtime.GCCycles, m.Runtime.GCPauseUS/1e3, m.Runtime.Goroutines)
+	fmt.Fprintf(&b, "stream  %d subscribers · %d lines published · %d dropped\n",
+		m.Stream.Subscribers, m.Stream.Published, m.Stream.Dropped)
+
+	rate := 0.0
+	if len(st.rates) > 0 {
+		rate = st.rates[len(st.rates)-1]
+	}
+	fmt.Fprintf(&b, "rate    %s ev/s %s\n", fmtCount(rate), sparkline(st.rates, watchSparkMax))
+
+	if len(m.Cost) > 0 {
+		cost := append([]stream.CostMetric(nil), m.Cost...)
+		sort.Slice(cost, func(i, j int) bool { return cost[i].Nanos > cost[j].Nanos })
+		if len(cost) > 5 {
+			cost = cost[:5]
+		}
+		b.WriteString("cost    ")
+		for i, c := range cost {
+			if i > 0 {
+				b.WriteString(" · ")
+			}
+			fmt.Fprintf(&b, "%s %s %.0f%%", c.Kind, costBar(c.Share), c.Share*100)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(runs.Runs) > 0 {
+		fmt.Fprintf(&b, "\n  %-24s %-8s %-26s %10s %9s %12s %5s\n",
+			"RUN", "STATUS", "PHASE", "EVENTS", "EV/S", "SIM(us)", "WD%")
+		for _, r := range runs.Runs {
+			wd := "-"
+			if r.WatchdogLimit > 0 {
+				wd = fmt.Sprintf("%.0f%%", r.WatchdogPct)
+			}
+			fmt.Fprintf(&b, "  %-24s %-8s %-26s %10s %9s %12.0f %5s\n",
+				r.Name, r.Status, r.Phase, fmtCount(float64(r.Events)),
+				fmtCount(r.EventsPerSec), r.SimUS, wd)
+		}
+	}
+	return b.String()
+}
+
+// costBar renders a share in [0,1] as a fixed-width bar.
+func costBar(share float64) string {
+	const width = 10
+	n := int(share*width + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("░", width-n)
+}
+
+// fmtCount renders an event count / rate with a k/M/G suffix.
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtBytes renders a byte count with a binary suffix.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

@@ -184,16 +184,16 @@ func (p *Plan) Install(t *topo.Network) *Injector {
 		switch ev.kind {
 		case linkDown:
 			port := inj.resolve(ev.link)
-			t.Eng.At(ev.at, func() { inj.setLink(port, true) })
+			t.Eng.AtK(ev.at, func() { inj.setLink(port, true) }, sim.EKFault)
 		case linkUp:
 			port := inj.resolve(ev.link)
-			t.Eng.At(ev.at, func() { inj.setLink(port, false) })
+			t.Eng.AtK(ev.at, func() { inj.setLink(port, false) }, sim.EKFault)
 		case rebootSwitch:
 			sw := inj.findSwitch(ev.link.Dev)
-			t.Eng.At(ev.at, func() {
+			t.Eng.AtK(ev.at, func() {
 				sw.Reboot()
 				inj.emit(rebootSwitch, ev.link.Dev, -1)
-			})
+			}, sim.EKFault)
 		}
 	}
 	return inj

@@ -102,30 +102,59 @@ func (n *Net) Observe(rec *obs.Recorder) {
 			log.Record(obs.FaultEvent{T: ev.T, Kind: ev.Kind, Dev: ev.Dev, Port: ev.Port})
 		}
 	}
+	if rec.Cost != nil {
+		n.Eng.SetCostSampler(rec.Cost.Stride(), rec.Cost.Observe)
+	}
 	n.installSampler(rec)
 }
 
 // installSampler registers the standard time-series sources and hooks the
-// sampler (and watchdog check) into the engine clock.
+// sampler (and watchdog check, live-progress publisher, and runtime
+// sampler) into the engine clock.
 func (n *Net) installSampler(rec *obs.Recorder) {
 	ss := rec.Series
 	wd := rec.Watchdog
-	if ss == nil && wd == nil {
+	live := rec.Live
+	if ss == nil && wd == nil && live == nil {
 		return
 	}
+	if live != nil && wd != nil {
+		live.WatchdogLimit.Store(wd.MaxInflightBytes)
+	}
+	var lastEvents uint64
 	check := func() {
 		if wd != nil && wd.Check(n.Pool.LiveBytes(), int64(n.Eng.Pending())) && !wd.KeepRunning {
 			n.Eng.Stop()
 		}
+		if live != nil {
+			// Accumulate (rather than store) the event count so tasks
+			// running several sequential engines keep one rising total.
+			cur := n.Eng.Processed()
+			live.Events.Add(cur - lastEvents)
+			lastEvents = cur
+			live.SimPS.Store(int64(n.Eng.Now()))
+			live.InflightBytes.Store(n.Pool.LiveBytes())
+			live.HeapEvents.Store(int64(n.Eng.Pending()))
+		}
 	}
 	if ss == nil {
-		// Watchdog without telemetry: a check-only clock hook.
+		// Watchdog and/or live progress without telemetry: a check-only
+		// clock hook.
 		n.Eng.SetSampler(DefaultWatchdogInterval, check)
 		return
 	}
 	n.registerSources(ss)
+	// Runtime series register after the simulated catalogue so the
+	// deterministic columns keep their positions in the artifact.
+	rt := rec.Runtime
+	if rt != nil {
+		rt.Register(ss, n.Eng)
+	}
 	ss.Start = n.Eng.Now()
 	n.Eng.SetSampler(ss.Interval, func() {
+		if rt != nil {
+			rt.Tick(n.Eng)
+		}
 		ss.Sample()
 		check()
 	})
@@ -315,6 +344,9 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 		if rec.Watchdog.Tripped() != "" {
 			trips.Add(1)
 		}
+	}
+	if rec.Cost != nil {
+		rec.Cost.Record(m)
 	}
 }
 

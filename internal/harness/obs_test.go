@@ -255,3 +255,68 @@ func TestObserveWatchdogKeepRunning(t *testing.T) {
 		t.Error("KeepRunning watchdog still stopped the run")
 	}
 }
+
+// TestObserveCostLiveRuntime exercises the third-generation wiring in one
+// run: the cost profiler is installed as the engine's cost sampler (and
+// folded into metrics by CollectMetrics), live progress atomics advance at
+// sampling ticks, and the runtime series land in the artifact series set
+// after the deterministic catalogue.
+func TestObserveCostLiveRuntime(t *testing.T) {
+	net, eng := newNet(3)
+	rec := obs.NewRecorder()
+	rec.Series = obs.NewSeriesSet(10 * sim.Microsecond)
+	rec.Cost = &obs.CostProfiler{Every: 8}
+	rec.Runtime = &obs.RuntimeSampler{Every: 4}
+	rec.Live = &obs.LiveRun{}
+	net.Observe(rec)
+
+	for src := 0; src < 2; src++ {
+		net.AddFlow(harness.Flow{Src: src, Dst: 2, Size: 100_000, Prio: 0, Algo: swift(net, src, 2)})
+	}
+	eng.RunUntil(5 * sim.Millisecond)
+	net.CollectMetrics(rec)
+
+	// Cost attribution: a traffic-bearing run must stamp transmit and
+	// delivery events, and the buckets must surface as metrics.
+	if rec.Cost.Bucket(sim.EKTransmit).Samples == 0 && rec.Cost.Bucket(sim.EKDeliverHost).Samples == 0 {
+		t.Error("cost profiler saw no transmit/delivery stamps")
+	}
+	if _, ok := rec.Metrics.Value("cost/deliver_switch/ns"); !ok {
+		t.Error("cost/deliver_switch/ns metric not emitted")
+	}
+
+	// Live progress advanced.
+	if ev := rec.Live.Events.Load(); ev == 0 {
+		t.Error("live event counter never advanced")
+	}
+	if rec.Live.SimPS.Load() == 0 {
+		t.Error("live sim clock never advanced")
+	}
+
+	// Runtime series registered after the simulated catalogue.
+	all := rec.Series.All()
+	if len(all) == 0 || all[0].Name != "net/inflight_bytes" {
+		t.Fatal("deterministic catalogue no longer leads the series set")
+	}
+	last := all[len(all)-1]
+	if last.Name != "runtime/wall_per_sim" {
+		t.Errorf("last series = %s, want runtime/wall_per_sim", last.Name)
+	}
+	if last.Len() != all[0].Len() {
+		t.Errorf("runtime series has %d samples, catalogue has %d", last.Len(), all[0].Len())
+	}
+}
+
+// TestObserveLiveOnly pins that a Live recorder without series or watchdog
+// still gets a clock hook (the all -listen path with telemetry off).
+func TestObserveLiveOnly(t *testing.T) {
+	net, eng := newNet(3)
+	rec := obs.NewRecorder()
+	rec.Live = &obs.LiveRun{}
+	net.Observe(rec)
+	net.AddFlow(harness.Flow{Src: 0, Dst: 2, Size: 100_000, Prio: 0, Algo: swift(net, 0, 2)})
+	eng.RunUntil(5 * sim.Millisecond)
+	if rec.Live.Events.Load() == 0 {
+		t.Error("live-only recorder never ticked")
+	}
+}

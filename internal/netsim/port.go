@@ -148,6 +148,11 @@ type Port struct {
 	ownerSw   *Switch
 	ownerHost *Host
 
+	// deliverKind is the cost-attribution tag for deliveries INTO the
+	// peer port, precomputed by Connect from the peer's owner class so
+	// transmit tags packets without a per-packet branch.
+	deliverKind uint8
+
 	// Precomputed serialization times for the two wire sizes that
 	// dominate every run (full-MTU data and minimal ACK/probe/PFC
 	// frames), so the hot path skips Rate.Serialize's 64-bit divide.
@@ -227,6 +232,16 @@ func NewPort(eng *sim.Engine, owner Device, rate Rate, prop sim.Time, nqueues in
 func Connect(a, b *Port) {
 	a.Peer = b
 	b.Peer = a
+	a.deliverKind = deliverKindOf(b)
+	b.deliverKind = deliverKindOf(a)
+}
+
+// deliverKindOf classifies deliveries into p by its owner's device class.
+func deliverKindOf(p *Port) uint8 {
+	if p.ownerSw != nil {
+		return sim.EKDeliverSwitch
+	}
+	return sim.EKDeliverHost
 }
 
 // NumQueues returns the number of priority queues on the port.
@@ -437,7 +452,7 @@ func (p *Port) wireFree() bool {
 // pending at a time (wakeArmed); startTx clears it when it fires.
 func (p *Port) armWake() {
 	p.wakeArmed = true
-	p.Eng.PostAtSeq(p.busyUntil, p.startTxFn, p.wakeSeq)
+	p.Eng.PostAtSeqK(p.busyUntil, p.startTxFn, p.wakeSeq, sim.EKTransmit)
 }
 
 // kick restarts an idle transmitter after an external state change (PFC
@@ -570,7 +585,7 @@ func (p *Port) transmit(it TxItem, q int) {
 	}
 	// Closure-free delivery: deliverPacket is a package-level function and
 	// both arguments are pointers, so this schedules without allocating.
-	p.Eng.Post2(ser+prop, deliverPacket, p.Peer, pkt)
+	p.Eng.Post2K(ser+prop, deliverPacket, p.Peer, pkt, p.deliverKind)
 	// Reserve the wake's dispatch position now — the exact point the old
 	// scheme allocated its unconditional completion event — so a wake
 	// armed later (or not at all) leaves every other event's tie-break
@@ -684,5 +699,5 @@ func (p *Port) SendPause(prio int, on bool) {
 	if on {
 		code |= 1
 	}
-	p.Eng.Post2(d, deliverPause, p.Peer, code)
+	p.Eng.Post2K(d, deliverPause, p.Peer, code, sim.EKPause)
 }

@@ -17,7 +17,7 @@ import (
 //
 // Line types:
 //
-//	{"type":"meta","run":...,"interval_us":...,"start_us":...,"watchdog":...}
+//	{"type":"meta","v":1,"run":...,"interval_us":...,"start_us":...,"watchdog":...}
 //	{"type":"sample","i":0,"t_us":...,"v":[...]}          // one per tick
 //	{"type":"hist","name":...,"unit":...,"count":...,...}  // one per histogram
 //	{"type":"metric","name":...,"v":...}                   // one per metric
@@ -28,8 +28,16 @@ import (
 // The meta line declares the series column order; every sample line's "v"
 // array aligns with it. Span lines follow their flow line, in recording
 // order (not globally time-sorted; renderers sort by t_us).
+//
+// Versioning: the meta line carries a schema version ("v", see
+// ArtifactVersion). Readers must tolerate forward evolution — unknown JSON
+// fields are ignored (encoding/json semantics) and unknown line types are
+// skipped, counted in Artifact.Unknown — so streamed and on-disk artifacts
+// from newer writers still load.
 type Artifact struct {
 	Run        string
+	Version    int // meta-line schema version; 0 for pre-versioned artifacts
+	Unknown    int // lines with an unrecognized type, skipped on read
 	IntervalUS float64
 	StartUS    float64
 	Watchdog   string // watchdog trip reason, "" when healthy
@@ -94,6 +102,24 @@ type ArtifactSpan struct {
 	A, B    float64
 }
 
+// ArtifactVersion is the schema version stamped on every meta line ("v").
+// Bump it when a change would confuse an old reader; additive fields and
+// new line types do not require a bump (readers skip what they don't know).
+const ArtifactVersion = 1
+
+// artifactMeta is the meta line's own shape. It is separate from
+// artifactLine because both use the "v" key — schema version here, the
+// sample value array there.
+type artifactMeta struct {
+	Type       string           `json:"type"`
+	V          int              `json:"v"`
+	Run        string           `json:"run,omitempty"`
+	IntervalUS float64          `json:"interval_us,omitempty"`
+	StartUS    float64          `json:"start_us,omitempty"`
+	Watchdog   string           `json:"watchdog,omitempty"`
+	Series     []ArtifactSeries `json:"series,omitempty"`
+}
+
 type artifactLine struct {
 	Type       string           `json:"type"`
 	Run        string           `json:"run,omitempty"`
@@ -124,7 +150,7 @@ func WriteArtifact(w io.Writer, run string, rec *Recorder) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	enc := json.NewEncoder(bw)
 
-	meta := artifactLine{Type: "meta", Run: run}
+	meta := artifactMeta{Type: "meta", V: ArtifactVersion, Run: run}
 	if rec.Watchdog != nil {
 		meta.Watchdog = rec.Watchdog.Tripped()
 	}
@@ -235,17 +261,42 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
+		// The "v" key is polymorphic (version on meta, value array on
+		// sample), so probe the type before committing to a shape. Unknown
+		// types and unknown fields are skipped, not errors: artifacts from
+		// newer writers must stay readable.
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("artifact line %d: %w", n, err)
+		}
+		if probe.Type == "meta" {
+			var m artifactMeta
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				return nil, fmt.Errorf("artifact line %d: %w", n, err)
+			}
+			art.Run = m.Run
+			art.Version = m.V
+			art.IntervalUS = m.IntervalUS
+			art.StartUS = m.StartUS
+			art.Watchdog = m.Watchdog
+			art.Series = m.Series
+			continue
+		}
+		switch probe.Type {
+		case "sample", "hist", "metric", "fault", "flow", "span":
+		default:
+			// A line type from a newer writer: skip it without attempting
+			// to decode (its fields may not fit this schema), keep count.
+			art.Unknown++
+			continue
+		}
 		var line artifactLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			return nil, fmt.Errorf("artifact line %d: %w", n, err)
 		}
 		switch line.Type {
-		case "meta":
-			art.Run = line.Run
-			art.IntervalUS = line.IntervalUS
-			art.StartUS = line.StartUS
-			art.Watchdog = line.Watchdog
-			art.Series = line.Series
 		case "sample":
 			if len(line.V) != len(art.Series) {
 				return nil, fmt.Errorf("artifact line %d: sample has %d values for %d series", n, len(line.V), len(art.Series))
@@ -279,8 +330,6 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 				TUS: line.TUS, Kind: line.Kind, Seq: line.Seq,
 				DelayUS: line.DelayUS, Dev: line.Dev, A: line.A, B: line.B,
 			})
-		default:
-			return nil, fmt.Errorf("artifact line %d: unknown type %q", n, line.Type)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -161,7 +161,6 @@ func TestArtifactDeterministicBytes(t *testing.T) {
 func TestReadArtifactRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"bad json":       "{not json}\n",
-		"unknown type":   `{"type":"mystery"}` + "\n",
 		"column mm":      `{"type":"meta","series":[{"name":"a","unit":"x"}]}` + "\n" + `{"type":"sample","i":0,"v":[1,2]}` + "\n",
 		"sample no meta": `{"type":"sample","i":0,"v":[1]}` + "\n",
 	}
@@ -169,6 +168,50 @@ func TestReadArtifactRejectsMalformed(t *testing.T) {
 		if _, err := obs.ReadArtifact(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: ReadArtifact accepted malformed input", name)
 		}
+	}
+}
+
+func TestReadArtifactForwardCompatible(t *testing.T) {
+	// Artifacts from a newer writer must still load: unknown line types
+	// are skipped (and counted), unknown fields on known line types are
+	// ignored, and the meta version is surfaced. The "v" key on unknown
+	// lines may even have a foreign shape.
+	in := `{"type":"meta","v":7,"run":"future","series":[{"name":"a","unit":"x"}],"novel_field":true}` + "\n" +
+		`{"type":"sample","i":0,"t_us":1,"v":[42],"extra":"ignored"}` + "\n" +
+		`{"type":"mystery","v":3.5,"payload":{"nested":[1,2,3]}}` + "\n" +
+		`{"type":"metric","metric":{"name":"net/drops","v":7}}` + "\n"
+	a, err := obs.ReadArtifact(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	if a.Version != 7 {
+		t.Errorf("Version = %d, want 7", a.Version)
+	}
+	if a.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1", a.Unknown)
+	}
+	if a.Run != "future" || len(a.Series) != 1 || len(a.Series[0].V) != 1 || a.Series[0].V[0] != 42 {
+		t.Errorf("known lines misparsed: %+v", a)
+	}
+	if len(a.Metrics) != 1 || a.Metrics[0].V != 7 {
+		t.Errorf("metric line misparsed: %+v", a.Metrics)
+	}
+}
+
+func TestArtifactVersionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteArtifact(&buf, "x", sampleRecorder(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"type":"meta","v":1`) {
+		t.Error("meta line missing schema version")
+	}
+	a, err := obs.ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != obs.ArtifactVersion {
+		t.Errorf("Version = %d, want %d", a.Version, obs.ArtifactVersion)
 	}
 }
 

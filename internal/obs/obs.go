@@ -165,6 +165,19 @@ type Recorder struct {
 	// Always present — fault events are rare, so unlike the sampling
 	// instruments there is nothing to disable.
 	Faults *FaultLog
+	// Cost, when non-nil, attributes sampled per-event execution cost by
+	// event kind; harness.Net.Observe installs it as the engine's cost
+	// sampler and CollectMetrics folds the buckets into Metrics.
+	Cost *CostProfiler
+	// Runtime, when non-nil, merges host-process gauges (RSS, GC, heap,
+	// events/sec, wall-vs-sim ratio) into Series. Requires Series; the
+	// values are wall-clock facts, so artifacts with Runtime enabled are
+	// not byte-deterministic.
+	Runtime *RuntimeSampler
+	// Live, when non-nil, receives lock-free progress updates (events,
+	// sim clock, in-flight bytes) at every sampling tick for the stream
+	// server's /runs endpoint.
+	Live *LiveRun
 }
 
 // NewRecorder returns a recorder with an empty registry and no trace sink.

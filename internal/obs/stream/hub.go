@@ -1,0 +1,183 @@
+// Package stream is the live side of the observability layer: an SSE hub
+// that fans artifact JSONL lines out to subscribers as they are produced,
+// and an HTTP server exposing process gauges (/metrics), batch run state
+// (/runs), and the line stream itself (/events).
+//
+// The wire format of /events is exactly the artifact file format — each SSE
+// data field is one artifact JSONL line, byte-identical to what lands on
+// disk — so every consumer of artifacts (report, trace, future services)
+// can consume the stream with the same parser. This is the transport the
+// ROADMAP's simulation-as-a-service item builds on.
+//
+// Publishing never blocks the simulation: each subscriber has a bounded
+// buffer and a slow consumer loses lines, counted per subscriber, rather
+// than stalling the publisher.
+package stream
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSubscriberBuffer is the per-subscriber line buffer; a consumer
+// that falls this many lines behind starts dropping.
+const DefaultSubscriberBuffer = 4096
+
+// Msg is one published artifact line. Run identifies the producing run
+// (the artifact file stem); Line is the JSONL line without its trailing
+// newline, byte-identical to the on-disk artifact line.
+type Msg struct {
+	Run  string
+	Line []byte
+}
+
+// Subscriber is one /events consumer's queue.
+type Subscriber struct {
+	ch      chan Msg
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// C returns the receive channel. It is closed when the hub shuts down,
+// after all published lines have been enqueued.
+func (s *Subscriber) C() <-chan Msg { return s.ch }
+
+// Dropped returns how many lines this subscriber lost to backpressure.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Hub fans published lines out to the current subscribers. Publishing is
+// serialized (one lock) so every subscriber observes lines in publish
+// order; sends are non-blocking so a full subscriber drops instead of
+// stalling the publisher.
+type Hub struct {
+	mu        sync.Mutex
+	subs      map[*Subscriber]struct{}
+	closed    bool
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe registers a consumer with the given buffer (<=0 means
+// DefaultSubscriberBuffer). On a closed hub the returned subscriber's
+// channel is already closed.
+func (h *Hub) Subscribe(buf int) *Subscriber {
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	s := &Subscriber{ch: make(chan Msg, buf)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(s.ch)
+		return s
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe removes a consumer; its channel is closed.
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+	}
+	h.mu.Unlock()
+	s.once.Do(func() { close(s.ch) })
+}
+
+// Publish fans one line out to every subscriber. The line is copied once
+// (the caller may reuse its buffer); a subscriber whose queue is full
+// loses the line, counted on both the subscriber and the hub. Publish on a
+// closed hub is a no-op.
+func (h *Hub) Publish(run string, line []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.published.Add(1)
+	if len(h.subs) == 0 {
+		return
+	}
+	msg := Msg{Run: run, Line: append([]byte(nil), line...)}
+	for s := range h.subs {
+		select {
+		case s.ch <- msg:
+		default:
+			s.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// Close shuts the hub down: every subscriber channel is closed after its
+// already-enqueued lines, and further Publish/Subscribe calls are no-ops.
+// Consumers drain their channels to the close, so no accepted line is lost
+// on shutdown.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// Stats returns the hub's lifetime counters: subscribers now connected,
+// lines fanned out, and lines lost to slow consumers.
+func (h *Hub) Stats() (subscribers int, published, dropped uint64) {
+	h.mu.Lock()
+	subscribers = len(h.subs)
+	h.mu.Unlock()
+	return subscribers, h.published.Load(), h.dropped.Load()
+}
+
+// LineWriter splits a byte stream into newline-terminated lines and
+// publishes each to the hub. It implements io.Writer so artifact encoder
+// output can be teed into it alongside the file writer.
+type LineWriter struct {
+	hub *Hub
+	run string
+	buf []byte
+}
+
+// ArtifactWriter returns a writer that publishes every complete line
+// written to it under the given run name. Tee it alongside the artifact
+// file writer so the stream carries the exact bytes that land on disk.
+// Call Close to flush a trailing unterminated line, if any.
+func (h *Hub) ArtifactWriter(run string) *LineWriter {
+	return &LineWriter{hub: h, run: run}
+}
+
+// Write buffers p, publishing each completed line (newline excluded).
+func (l *LineWriter) Write(p []byte) (int, error) {
+	l.buf = append(l.buf, p...)
+	for {
+		i := bytes.IndexByte(l.buf, '\n')
+		if i < 0 {
+			break
+		}
+		l.hub.Publish(l.run, l.buf[:i])
+		l.buf = l.buf[i+1:]
+	}
+	return len(p), nil
+}
+
+// Close publishes any trailing line that lacked a newline.
+func (l *LineWriter) Close() error {
+	if len(l.buf) > 0 {
+		l.hub.Publish(l.run, l.buf)
+		l.buf = l.buf[:0]
+	}
+	return nil
+}

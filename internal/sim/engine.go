@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync/atomic"
+	"time"
 )
 
 // totalProcessed accumulates events executed across every engine in the
@@ -12,8 +13,63 @@ var totalProcessed atomic.Uint64
 
 // TotalProcessed returns the number of events executed by all engines in
 // this process since it started. Sample it before and after a batch to
-// compute an events/sec rate.
+// compute an events/sec rate. This is the raw dispatch count: optimizations
+// that elide events (e.g. the lazy transmitter wake-up) lower it without
+// changing simulation behavior, so it is not comparable across builds — use
+// TotalEvents for a build-independent basis.
 func TotalProcessed() uint64 { return totalProcessed.Load() }
+
+// totalEvents accumulates the logical event count: dispatched events plus
+// reserved-seq positions that were never filed (elided events that earlier
+// engine generations would have dispatched). Signed because a seq reserved
+// in one RunUntil may be filed in a later one, making individual deltas
+// negative; the running sum is exact.
+var totalEvents atomic.Int64
+
+// TotalEvents returns the logical event count for all engines in this
+// process: every dispatched event plus every elided one (a seq reserved
+// via ReserveSeq and never filed stands for an event the eager scheduling
+// scheme would have dispatched). Unlike TotalProcessed, this basis is
+// stable across engine optimizations, so events/sec computed from it is
+// comparable across builds.
+func TotalEvents() uint64 {
+	v := totalEvents.Load()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// Event kinds, carried as a tag on each scheduled event for cost
+// attribution (SetCostSampler). Tags are advisory — they never affect
+// dispatch order or simulation behavior. Untagged events are EKOther.
+const (
+	EKOther uint8 = iota
+	EKTransmit      // port transmitter wake-up (serialization done)
+	EKDeliverSwitch // packet delivery into a switch port
+	EKDeliverHost   // packet delivery into a host NIC
+	EKPause         // PFC pause/resume frame delivery
+	EKRTO           // transport retransmission timeout
+	EKSampler       // clock-driven sampling hook (SetSampler)
+	EKFault         // fault-injection timeline event
+	NumEventKinds
+)
+
+// eventKindNames maps kind tags to the stable snake_case names used in
+// artifacts and the /metrics endpoint.
+var eventKindNames = [NumEventKinds]string{
+	"other", "transmit", "deliver_switch", "deliver_host",
+	"pause", "rto", "sampler", "fault",
+}
+
+// EventKindName returns the stable name for a kind tag; out-of-range tags
+// report as "other".
+func EventKindName(k uint8) string {
+	if k >= NumEventKinds {
+		return "other"
+	}
+	return eventKindNames[k]
+}
 
 // Event states. An event is pending from scheduling until it is dispatched;
 // dispatch moves it to fired (executed) or lets a canceled event drain.
@@ -35,6 +91,7 @@ type Event struct {
 	at    Time
 	seq   uint64
 	state uint8
+	kind  uint8 // cost-attribution tag (EK*); fits existing struct padding
 	fn    func()
 	// Closure-free delivery payload (Post2): fn2 is a preallocated function
 	// and a0/a1 its arguments. Pointers boxed in any do not allocate.
@@ -114,6 +171,24 @@ type Engine struct {
 	sampleAt    Time
 	sampleEvery Time
 	sampleFn    func()
+
+	// Sampled cost attribution (SetCostSampler). One in costEvery
+	// dispatches is wall-clock stamped and reported to costFn with the
+	// event's kind tag; nil costFn costs the hot loop a single
+	// always-false nil check.
+	costFn    func(kind uint8, nanos int64)
+	costEvery int64
+	costSkip  int64
+
+	// Logical-event accounting: seqs reserved (ReserveSeq) and later filed
+	// (PostAtSeq). reserved-minus-filed counts elided events — see
+	// TotalEvents. The acc* fields are the portion already flushed into
+	// the global counter (RunUntil flushes on exit, covering calls made
+	// between runs as well).
+	nreserved   uint64
+	nfiled      uint64
+	accReserved uint64
+	accFiled    uint64
 }
 
 // maxTime is the largest representable simulated time; it doubles as the
@@ -151,6 +226,7 @@ func (e *Engine) schedule(t Time) *Event {
 	ev.at = t
 	ev.seq = e.seq
 	ev.state = evPending
+	ev.kind = EKOther
 	e.place(entry{at: t, seq: e.seq, ev: ev})
 	e.seq++
 	e.npending++
@@ -174,6 +250,13 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	ev := e.schedule(t)
 	ev.fn = fn
+	return ev
+}
+
+// AtK is At with a cost-attribution kind tag (see SetCostSampler).
+func (e *Engine) AtK(t Time, fn func(), kind uint8) *Event {
+	ev := e.At(t, fn)
+	ev.kind = kind
 	return ev
 }
 
@@ -212,6 +295,17 @@ func (e *Engine) Post2(d Time, fn func(a, b any), a, b any) {
 	ev.a0, ev.a1 = a, b
 }
 
+// Post2K is Post2 with a cost-attribution kind tag (see SetCostSampler).
+func (e *Engine) Post2K(d Time, fn func(a, b any), a, b any, kind uint8) {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.schedule(e.now + d)
+	ev.fn2 = fn
+	ev.a0, ev.a1 = a, b
+	ev.kind = kind
+}
+
 // ReserveSeq allocates and returns a dispatch sequence number without
 // scheduling anything. An event later filed under it with PostAtSeq gets
 // the FIFO rank it would have had if it had been scheduled at reservation
@@ -223,6 +317,7 @@ func (e *Engine) Post2(d Time, fn func(a, b any), a, b any) {
 func (e *Engine) ReserveSeq() uint64 {
 	s := e.seq
 	e.seq++
+	e.nreserved++
 	return s
 }
 
@@ -234,6 +329,12 @@ func (e *Engine) ReserveSeq() uint64 {
 // be filed at most once, and only at a (t, seq) position not yet reached
 // (ReachedSeq reports that).
 func (e *Engine) PostAtSeq(t Time, fn func(), seq uint64) {
+	e.PostAtSeqK(t, fn, seq, EKOther)
+}
+
+// PostAtSeqK is PostAtSeq with a cost-attribution kind tag (see
+// SetCostSampler).
+func (e *Engine) PostAtSeqK(t Time, fn func(), seq uint64, kind uint8) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -248,8 +349,10 @@ func (e *Engine) PostAtSeq(t Time, fn func(), seq uint64) {
 	ev.at = t
 	ev.seq = seq
 	ev.state = evPending
+	ev.kind = kind
 	ev.fn = fn
 	e.npending++
+	e.nfiled++
 	ent := entry{at: t, seq: seq, ev: ev}
 	if t == e.now && e.inBatch && seq > e.batch[e.batchPos].seq {
 		e.spliceBatch(ent)
@@ -320,6 +423,26 @@ func (e *Engine) SetSampler(every Time, fn func()) {
 	e.sampleAt = e.now + every
 }
 
+// SetCostSampler installs a sampled cost-attribution hook: one in every
+// `every` dispatched callbacks (sampling-hook firings included, tagged
+// EKSampler) is wall-clock stamped, and fn receives the event's kind tag
+// plus the measured nanoseconds. The shared 1-in-N countdown across all
+// dispatch paths keeps per-kind time shares unbiased. fn runs after the
+// stamped callback returns and must not mutate simulation state — stamps
+// are observation only, so enabling the sampler cannot perturb results.
+// Passing a nil fn (or every <= 0) removes the hook; with no hook the
+// dispatch loop pays a single nil check.
+func (e *Engine) SetCostSampler(every int64, fn func(kind uint8, nanos int64)) {
+	if fn == nil || every <= 0 {
+		e.costFn = nil
+		e.costEvery, e.costSkip = 0, 0
+		return
+	}
+	e.costFn = fn
+	e.costEvery = every
+	e.costSkip = every
+}
+
 // Stop makes the current Run or RunUntil return after the executing event
 // completes. Any same-timestamp events batched with the executing one stay
 // pending and dispatch on the next run.
@@ -332,7 +455,15 @@ func (e *Engine) Run() { e.RunUntil(maxTime) }
 // end (unless the run was stopped early or ran out of events beyond end).
 func (e *Engine) RunUntil(end Time) {
 	start := e.processed
-	defer func() { totalProcessed.Add(e.processed - start) }()
+	defer func() {
+		d := e.processed - start
+		totalProcessed.Add(d)
+		// Logical basis: dispatched plus reserved-but-unfiled (elided)
+		// events. A seq reserved in an earlier run and filed in this one
+		// makes the reserve/file part negative; the running sum is exact.
+		totalEvents.Add(int64(d) + int64(e.nreserved-e.accReserved) - int64(e.nfiled-e.accFiled))
+		e.accReserved, e.accFiled = e.nreserved, e.nfiled
+	}()
 	e.stopped = false
 	for !e.stopped && e.refillDue() {
 		top := e.due[0]
@@ -348,9 +479,7 @@ func (e *Engine) RunUntil(end Time) {
 			// A sampling instant falls strictly before the next event: take
 			// the sample, then re-read the queue (the hook may Stop or
 			// Cancel). Strict ordering means events AT the instant ran first.
-			e.now = e.sampleAt
-			e.sampleAt += e.sampleEvery
-			e.sampleFn()
+			e.fireSampler()
 			continue
 		}
 		if top.at > end {
@@ -362,9 +491,7 @@ func (e *Engine) RunUntil(end Time) {
 	// for a finite horizon: Run() must still terminate on an empty schedule.
 	if end < maxTime {
 		for !e.stopped && e.sampleAt <= end {
-			e.now = e.sampleAt
-			e.sampleAt += e.sampleEvery
-			e.sampleFn()
+			e.fireSampler()
 		}
 	}
 	if !e.stopped && e.now < end && end < maxTime {
@@ -405,10 +532,12 @@ func (e *Engine) runBatch(at Time) {
 		e.npending--
 		// Copy the payload out before recycling: the callback may schedule
 		// new events, which can reuse this very object.
-		fn, fn2, a0, a1 := ev.fn, ev.fn2, ev.a0, ev.a1
+		fn, fn2, a0, a1, kind := ev.fn, ev.fn2, ev.a0, ev.a1, ev.kind
 		ev.state = evFired
 		e.recycle(ev)
-		if fn2 != nil {
+		if e.costFn != nil {
+			e.dispatchCost(kind, fn, fn2, a0, a1)
+		} else if fn2 != nil {
 			fn2(a0, a1)
 		} else {
 			fn()
@@ -422,4 +551,58 @@ func (e *Engine) runBatch(at Time) {
 	}
 	e.inBatch = false
 	e.batch = e.batch[:0]
+}
+
+// fireSampler advances the clock to the pending sampling instant and runs
+// the hook, stamping it through the cost sampler like any other dispatch.
+func (e *Engine) fireSampler() {
+	e.now = e.sampleAt
+	e.sampleAt += e.sampleEvery
+	if e.costFn != nil {
+		e.samplerCost()
+		return
+	}
+	e.sampleFn()
+}
+
+// dispatchCost is the profiled dispatch path, outlined so the unprofiled
+// loop body stays small and branch-predictable. The countdown makes the
+// common case (skip) a decrement and compare; only 1-in-costEvery
+// dispatches pay two monotonic clock reads.
+//
+//go:noinline
+func (e *Engine) dispatchCost(kind uint8, fn func(), fn2 func(a, b any), a0, a1 any) {
+	e.costSkip--
+	if e.costSkip > 0 {
+		if fn2 != nil {
+			fn2(a0, a1)
+		} else {
+			fn()
+		}
+		return
+	}
+	e.costSkip = e.costEvery
+	t0 := time.Now()
+	if fn2 != nil {
+		fn2(a0, a1)
+	} else {
+		fn()
+	}
+	e.costFn(kind, int64(time.Since(t0)))
+}
+
+// samplerCost stamps a sampling-hook firing through the same countdown as
+// event dispatch, so EKSampler shares are sampled at the same rate.
+//
+//go:noinline
+func (e *Engine) samplerCost() {
+	e.costSkip--
+	if e.costSkip > 0 {
+		e.sampleFn()
+		return
+	}
+	e.costSkip = e.costEvery
+	t0 := time.Now()
+	e.sampleFn()
+	e.costFn(EKSampler, int64(time.Since(t0)))
 }

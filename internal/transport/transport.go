@@ -639,7 +639,7 @@ func (s *Sender) armRTO() {
 	}
 	s.rtoDeadline = s.st.Eng.Now() + rto
 	if s.rtoEv == nil {
-		s.rtoEv = s.st.Eng.At(s.rtoDeadline, s.onRTO)
+		s.rtoEv = s.st.Eng.AtK(s.rtoDeadline, s.onRTO, sim.EKRTO)
 	}
 }
 
@@ -650,7 +650,7 @@ func (s *Sender) onRTO() {
 	}
 	if now := s.st.Eng.Now(); now < s.rtoDeadline {
 		// The deadline moved while this event was pending: re-arm.
-		s.rtoEv = s.st.Eng.At(s.rtoDeadline, s.onRTO)
+		s.rtoEv = s.st.Eng.AtK(s.rtoDeadline, s.onRTO, sim.EKRTO)
 		return
 	}
 	s.RTOs++
