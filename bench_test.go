@@ -182,6 +182,26 @@ func BenchmarkFig10bIncastFullObs(b *testing.B) {
 	b.ReportMetric(r.MeanDelay.Micros(), "mean_delay_us")
 }
 
+// BenchmarkFig10bIncastFingerprint: the same incast with the digest chain
+// folding every dispatched event (the `-fingerprint` configuration). The
+// acceptance bar is <= 2% over BenchmarkFig10bIncast — one XOR-multiply
+// fold per event plus the receiving ports' payload folds.
+func BenchmarkFig10bIncastFingerprint(b *testing.B) {
+	var r exp.Fig10bResult
+	var dig *sim.Digest
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		dig = sim.NewDigest()
+		rec.Digest = dig
+		r = exp.Fig10b(80, exp.Options{Recorder: rec})
+		if dig.Count == 0 {
+			b.Fatal("digest folded nothing")
+		}
+	}
+	b.ReportMetric(r.WithinFrac, "within_channel_frac")
+	b.ReportMetric(float64(dig.Count), "events_folded")
+}
+
 // BenchmarkFig10bIncastTrace: the same incast with causal flow tracing on
 // for four sampled flows — packet journeys at the default stride plus the
 // full CC decision audit. The acceptance bar is < 10% over

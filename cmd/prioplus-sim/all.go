@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +31,8 @@ func runAll(args []string) int {
 	timeout := fs.Duration("timeout", 0, "per-run wall-clock limit (0 = none)")
 	full := fs.Bool("full", false, "run at the paper's full scale")
 	progress := fs.Bool("progress", true, "write a live progress line to stderr as runs complete")
+	fpOut := fs.String("fp-out", "", "write a fingerprint manifest (run name -> output hash) to this file; implies -fingerprint")
+	fpCheck := fs.String("fp-check", "", "check every run's output hash against this manifest; implies -fingerprint")
 	obsFlags := addObsFlags(fs)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -39,6 +42,9 @@ func runAll(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *fpOut != "" || *fpCheck != "" {
+		obsOpt.fingerprint = true
 	}
 
 	ids := experiments
@@ -148,13 +154,19 @@ func runAll(args []string) int {
 	dispatched := sim.TotalProcessed() - startDispatched
 
 	failures := 0
+	fps := map[string]string{} // run name -> output fingerprint (with -fingerprint)
 	for _, r := range results {
 		status := "ok"
 		if r.Err != nil {
 			status = "FAIL: " + r.Err.Error()
 			failures++
 		}
-		fmt.Printf("== %-20s %10.2fms  %s\n", r.Name, float64(r.Wall.Microseconds())/1000, status)
+		fp := ""
+		if obsOpt.fingerprint && r.Err == nil {
+			fps[r.Name] = fmt.Sprintf("%016x", fnv64a(r.Output))
+			fp = " fp=" + fps[r.Name]
+		}
+		fmt.Printf("== %-20s %10.2fms  %s%s\n", r.Name, float64(r.Wall.Microseconds())/1000, status, fp)
 		if r.Output != "" {
 			fmt.Print(indent(r.Output))
 		}
@@ -164,10 +176,24 @@ func runAll(args []string) int {
 		events, dispatched, float64(events)/wall.Seconds()/1e6)
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, results, seeds, *parallel, *full, wall, events, dispatched); err != nil {
+		if err := writeJSON(*jsonOut, results, seeds, *parallel, *full, wall, events, dispatched, fps); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+	}
+	if *fpOut != "" {
+		if err := writeManifest(*fpOut, fps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("fingerprint manifest: %d runs written to %s\n", len(fps), *fpOut)
+	}
+	if *fpCheck != "" {
+		if err := checkManifest(*fpCheck, fps); err != nil {
+			fmt.Fprintln(os.Stderr, "fingerprint check FAILED:", err)
+			return 1
+		}
+		fmt.Printf("fingerprint check: all %d runs match %s\n", len(fps), *fpCheck)
 	}
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -176,6 +202,67 @@ func runAll(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// fnv64a is the FNV-64a hash of a run's captured output. With -fingerprint
+// the output embeds each run's digest chain (the "# fingerprint" lines), so
+// this one value covers both the rendered figures and the execution
+// fingerprints beneath them.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// fpManifest is the on-disk fingerprint manifest (testdata/fingerprints.json):
+// one output hash per (experiment, seed) run of the quick suite.
+type fpManifest struct {
+	Note string            `json:"note"`
+	Runs map[string]string `json:"runs"`
+}
+
+const manifestNote = "FNV-64a over each run's captured output, which includes its '# fingerprint' digest-chain lines; " +
+	"regenerate with: prioplus-sim all -fp-out testdata/fingerprints.json"
+
+func writeManifest(path string, fps map[string]string) error {
+	data, err := json.MarshalIndent(fpManifest{Note: manifestNote, Runs: fps}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkManifest compares this batch's fingerprints against the recorded
+// manifest. Runs absent from the manifest fail the check (the manifest must
+// be regenerated when experiments are added); manifest entries not run this
+// batch (a -only or -seeds subset) are ignored.
+func checkManifest(path string, fps map[string]string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m fpManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var bad []string
+	for name, fp := range fps {
+		want, ok := m.Runs[name]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s: not in manifest (regenerate with -fp-out)", name))
+		case want != fp:
+			bad = append(bad, fmt.Sprintf("%s: got %s, manifest has %s", name, fp, want))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("%d of %d runs diverged:\n  %s\n(bisect one with: prioplus-sim diff -exp ID -seed N ARTIFACT.jsonl)",
+			len(bad), len(fps), strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 func validExperiment(id string) error {
@@ -211,6 +298,10 @@ type runJSON struct {
 	WallMS float64 `json:"wall_ms"`
 	Output string  `json:"output,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	// Fingerprint is the FNV-64a hash of Output, present with -fingerprint
+	// (see the fingerprint manifest); the per-run digest chains are inside
+	// Output as '# fingerprint' lines.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // eventsBasis documents the two event counters in batchJSON, so readers of
@@ -231,7 +322,7 @@ type batchJSON struct {
 	Runs             []runJSON `json:"runs"`
 }
 
-func writeJSON(path string, results []runner.Result, seeds []int64, parallel int, full bool, wall time.Duration, events, dispatched uint64) error {
+func writeJSON(path string, results []runner.Result, seeds []int64, parallel int, full bool, wall time.Duration, events, dispatched uint64, fps map[string]string) error {
 	doc := batchJSON{
 		Full:             full,
 		Parallel:         parallel,
@@ -243,7 +334,8 @@ func writeJSON(path string, results []runner.Result, seeds []int64, parallel int
 		EventsPerSec:     float64(events) / wall.Seconds(),
 	}
 	for _, r := range results {
-		rj := runJSON{Name: r.Name, WallMS: float64(r.Wall.Microseconds()) / 1000, Output: r.Output}
+		rj := runJSON{Name: r.Name, WallMS: float64(r.Wall.Microseconds()) / 1000, Output: r.Output,
+			Fingerprint: fps[r.Name]}
 		if r.Err != nil {
 			rj.Error = r.Err.Error()
 		}

@@ -24,6 +24,13 @@
 // run and dumps the last trace events from the flight recorder. The
 // `report` subcommand renders artifacts back into a text report; see
 // docs/OBSERVABILITY.md.
+//
+// Determinism tooling: `-fingerprint` folds every dispatched event into a
+// per-run digest chain (checkpointed into -series artifacts), `-audit`
+// runs the conservation auditor, and the `diff` subcommand bisects two
+// fingerprinted executions down to their first divergent event. The `all`
+// subcommand's -fp-out/-fp-check write and enforce the committed
+// fingerprint manifest (testdata/fingerprints.json).
 package main
 
 import (
@@ -73,6 +80,8 @@ func main() {
 		os.Exit(runTrace(os.Args[2:]))
 	case "watch":
 		os.Exit(runWatch(os.Args[2:]))
+	case "diff":
+		os.Exit(runDiff(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet(expID, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's full scale")
@@ -150,6 +159,9 @@ type obsFlagSet struct {
 	traceMatch *string
 	traceEvery *int
 	tracePkts  *int
+	fingerp    *bool
+	audit      *bool
+	perturb    *uint64
 }
 
 // addObsFlags registers the shared observability flags on fs.
@@ -166,6 +178,9 @@ func addObsFlags(fs *flag.FlagSet) obsFlagSet {
 		traceMatch: fs.String("trace-match", "", "flow-trace exactly these comma-separated flow ids (needs -series)"),
 		traceEvery: fs.Int("trace-every", 0, "with -trace-flows, admit only a 1-in-K hash sample of flow ids"),
 		tracePkts:  fs.Int("trace-packets", 0, "journey-stamp every Kth data packet of a traced flow (default 16, 1 = all)"),
+		fingerp:    fs.Bool("fingerprint", false, "fold every dispatched event into a digest chain and print the run fingerprint"),
+		audit:      fs.Bool("audit", false, "run conservation audits on the sampler clock (packet, byte, PFC accounting); a violation stops the run"),
+		perturb:    fs.Uint64("perturb", 0, "deliberately inflate the Nth delay-noise draw by 1us (micro experiments; for testing diff)"),
 	}
 }
 
@@ -189,6 +204,7 @@ func (f obsFlagSet) resolve() (obsOpts, error) {
 		runtime: *f.runtime, cost: *f.cost, listen: *f.listen,
 		traceFlows: *f.traceFlows, traceMatch: match,
 		traceEvery: *f.traceEvery, tracePackets: *f.tracePkts,
+		fingerprint: *f.fingerp, audit: *f.audit, perturb: *f.perturb,
 	}
 	if o.tracing() && o.dir == "" {
 		return obsOpts{}, fmt.Errorf("flow tracing needs -series DIR: trace spans are only delivered through the timeline artifact")
@@ -228,7 +244,13 @@ func parseFlowList(s string) ([]int64, error) {
 // experiments that run full network scenarios (incast, fat-tree, coflow);
 // the analytic and micro experiments ignore it.
 func runExperiment(expID string, o runOpts, w io.Writer) error {
-	sink := newObsSink(o.obs, expID, o.seed)
+	return runExperimentWith(expID, o, newObsSink(o.obs, expID, o.seed), w)
+}
+
+// runExperimentWith is runExperiment with a caller-supplied sink, so the
+// diff subcommand can rerun an experiment and inspect the recorders (and
+// their digest chains) afterwards instead of only seeing flushed text.
+func runExperimentWith(expID string, o runOpts, sink *obsSink, w io.Writer) error {
 	switch expID {
 	case "fig2":
 		tb := stats.NewTable("chip", "year", "buffer(MB)", "bandwidth(Tbps)", "MB/Tbps")
@@ -238,14 +260,14 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		tb.Render(w)
 
 	case "fig3a":
-		r := exp.Fig3a(8<<20, exp.Options{})
+		r := exp.Fig3a(8<<20, exp.Options{Perturb: o.obs.perturb})
 		fmt.Fprintf(w, "D2TCP, deadlines 1x/2x ideal FCT on one queue\n")
 		fmt.Fprintf(w, "  high-priority share during contention: %.2f (strict would be ~1.0)\n", r.HighShare)
 		fmt.Fprintf(w, "  high-priority FCT vs ideal: %.2fx (strict would be ~1.0x)\n", r.HighFCTvsIdeal)
 		printSeries(w, o.series, r.Series)
 
 	case "fig3b":
-		r := exp.Fig3b(exp.Options{})
+		r := exp.Fig3b(exp.Options{Perturb: o.obs.perturb})
 		fmt.Fprintf(w, "Swift + target scaling, targets base+15us vs base+5us\n")
 		fmt.Fprintf(w, "  high-target share: %.2f (weighted sharing, violates O1)\n", r.HighShare)
 		printSeries(w, o.series, r.Series)
@@ -255,14 +277,14 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if !o.full {
 			n = 100
 		}
-		r := exp.Fig3c(n, exp.Options{})
+		r := exp.Fig3c(n, exp.Options{Perturb: o.obs.perturb})
 		fmt.Fprintf(w, "Swift w/o scaling, %d low flows + 1 high flow\n", n)
 		fmt.Fprintf(w, "  utilization before high flow: %.2f (fluctuation causes waste, violates O2)\n", r.UtilBefore)
 		fmt.Fprintf(w, "  delay above high target: %.0f%% of samples\n", r.OverLimitFrac*100)
 		fmt.Fprintf(w, "  high flow share after start: %.2f (decelerates, violates O1)\n", r.HighShareAfter)
 
 	case "fig3d":
-		r := exp.Fig3d(exp.Options{})
+		r := exp.Fig3d(exp.Options{Perturb: o.obs.perturb})
 		fmt.Fprintf(w, "Swift w/o scaling trade-offs (§3.3)\n")
 		fmt.Fprintf(w, "  extra queue from line-rate start: %d B\n", r.ExtraQueueOnStart)
 		fmt.Fprintf(w, "  reclaim delay after high flows stop: %v\n", r.ReclaimDelay)
@@ -287,8 +309,8 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 			ppRec = sink.recorder("pp")
 			swRec = sink.recorder("swift")
 		}
-		pp := exp.Fig8(true, interval, exp.Options{Recorder: ppRec})
-		sw := exp.Fig8(false, interval, exp.Options{Recorder: swRec})
+		pp := exp.Fig8(true, interval, exp.Options{Recorder: ppRec, Perturb: o.obs.perturb})
+		sw := exp.Fig8(false, interval, exp.Options{Recorder: swRec, Perturb: o.obs.perturb})
 		tb := stats.NewTable("scheme", "dominance of newest priority")
 		tb.AddRow(pp.Scheme, pp.DominanceFrac)
 		tb.AddRow(sw.Scheme, sw.DominanceFrac)
@@ -296,8 +318,8 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		printSeries(w, o.series, pp.Series)
 
 	case "fig9":
-		pp := exp.Fig9(true, exp.Options{})
-		sw := exp.Fig9(false, exp.Options{})
+		pp := exp.Fig9(true, exp.Options{Perturb: o.obs.perturb})
+		sw := exp.Fig9(false, exp.Options{Perturb: o.obs.perturb})
 		tb := stats.NewTable("scheme", "frac of samples above D_limit")
 		tb.AddRow(pp.Scheme, pp.OverLimitFrac)
 		tb.AddRow(sw.Scheme, sw.OverLimitFrac)
@@ -311,7 +333,7 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if !o.full {
 			per, interval = 6, 5*sim.Millisecond
 		}
-		shares := exp.Fig10a(per, interval, exp.Options{})
+		shares := exp.Fig10a(per, interval, exp.Options{Perturb: o.obs.perturb})
 		tb := stats.NewTable("priority", "share in own interval")
 		for p, s := range shares {
 			tb.AddRow(p, s)
@@ -327,7 +349,7 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 		if sink != nil {
 			rec = sink.recorder("incast")
 		}
-		r := exp.Fig10b(n, exp.Options{Recorder: rec})
+		r := exp.Fig10b(n, exp.Options{Recorder: rec, Perturb: o.obs.perturb})
 		fmt.Fprintf(w, "%d-flow incast, D_target %v\n", n, r.Target)
 		fmt.Fprintf(w, "  delay within channel: %.0f%% of samples; mean delay %v\n", r.WithinFrac*100, r.MeanDelay)
 
@@ -607,10 +629,12 @@ func printCoflow(w io.Writer, rows []exp.CoflowSpeedups) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-print-series] [obs flags] [-cpuprofile f] [-memprofile f]
-       prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full] [obs flags]
+       prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full] [-fp-out f] [-fp-check f] [obs flags]
        prioplus-sim report [-width N] file.jsonl|dir...
        prioplus-sim trace [-flows a,b] [-journeys K] [-width N] file.jsonl|dir...
        prioplus-sim watch [-interval d] [-once] ADDR
+       prioplus-sim diff A.jsonl B.jsonl
+       prioplus-sim diff -exp ID [-seed N] [-full] [-perturb D] A.jsonl
 
 obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -series DIR       write one timeline artifact (JSONL) per run into DIR
@@ -633,6 +657,14 @@ obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -trace-match IDS  flow-trace exactly these comma-separated flow ids
   -trace-every K    with -trace-flows, admit a deterministic 1-in-K sample
   -trace-packets K  journey-stamp every Kth data packet (default 16)
+  -fingerprint      fold every dispatched event into a per-run digest
+                    chain; prints the run fingerprint and writes ckpt
+                    lines into -series artifacts (for diff / -fp-check)
+  -audit            conservation auditor on the sampler clock (packet
+                    pool, shared-buffer sums, PFC symmetry); a violation
+                    stops the run and dumps the flight recorder
+  -perturb D        inflate the D-th delay-noise draw by 1us — a
+                    controlled divergence for exercising diff
 
 experiments:
   fig2     switch-chip buffer/bandwidth ratios
@@ -660,5 +692,8 @@ experiments:
   all          every experiment above, fanned across a worker pool
   report       render -series artifacts as a text report
   trace        render flow-trace artifacts as causal per-flow timelines
-  watch        live terminal dashboard over a -listen ADDR endpoint`)
+  watch        live terminal dashboard over a -listen ADDR endpoint
+  diff         compare two fingerprinted artifacts, or an artifact vs a
+               live rerun, and name the first divergent event (see
+               docs/OBSERVABILITY.md, "Bisecting a divergence")`)
 }

@@ -39,6 +39,15 @@ type obsOpts struct {
 	traceEvery   int     // -trace-every: 1-in-K hash sample of flow ids
 	tracePackets int     // -trace-packets: journey stride (0 = default 16)
 
+	fingerprint bool   // -fingerprint: per-event digest chain + run fingerprint
+	audit       bool   // -audit: conservation auditor on the sampler clock
+	perturb     uint64 // -perturb: inflate the Nth delay-noise draw (0 = off)
+
+	// windowLo/windowHi arm full-event window recording on the digest
+	// ([lo, hi) in dispatch counts). Set by the diff subcommand's rerun
+	// phase, not by flags.
+	windowLo, windowHi uint64
+
 	// hub and live are wired by main/runAll after resolve, not by flags:
 	// hub tees artifact lines to /events subscribers, live receives this
 	// run's progress gauges for /runs.
@@ -48,7 +57,8 @@ type obsOpts struct {
 
 func (o obsOpts) enabled() bool {
 	return o.dir != "" || o.hist || o.maxBytes > 0 || o.maxEvents > 0 ||
-		o.runtime || o.cost || o.hub != nil || o.live != nil || o.tracing()
+		o.runtime || o.cost || o.hub != nil || o.live != nil || o.tracing() ||
+		o.fingerprint || o.audit
 }
 
 // tracing reports whether flow tracing was requested.
@@ -123,6 +133,18 @@ func (s *obsSink) recorder(tag string) *obs.Recorder {
 		ft.PacketEvery = s.opts.tracePackets
 		rec.FlowTrace = ft
 	}
+	if s.opts.fingerprint {
+		rec.Digest = sim.NewDigest()
+		if s.opts.windowHi > 0 {
+			rec.Digest.SetWindow(s.opts.windowLo, s.opts.windowHi)
+		}
+	}
+	if s.opts.audit {
+		rec.Audit = &obs.Auditor{}
+		if rec.Flight == nil {
+			rec.Flight = obs.NewFlightRecorder(flightSize)
+		}
+	}
 	s.runs = append(s.runs, obsRun{tag: tag, rec: rec})
 	return rec
 }
@@ -138,23 +160,36 @@ func (s *obsSink) stem(tag string) string {
 }
 
 // flush writes one artifact JSONL per run into the -series directory,
-// dumps the flight recorder for any run whose watchdog tripped, and prints
-// -hist summaries to w (so batch mode captures them with the run output).
+// dumps the flight recorder for any run whose watchdog tripped or auditor
+// violated, and prints -hist summaries and -fingerprint lines to w (so
+// batch mode captures them with the run output). A conservation violation
+// is returned as an error after everything is written: unlike a watchdog
+// trip (a configured resource ceiling doing its job) a violation means the
+// simulator itself miscounted, so the run must fail.
 func (s *obsSink) flush(w io.Writer) error {
+	var violation error
 	for _, r := range s.runs {
 		stem := s.stem(r.tag)
 		if wd := r.rec.Watchdog; wd != nil && wd.Tripped() != "" {
-			dir := s.opts.dir
-			if dir == "" {
-				dir = "."
-			}
-			path := filepath.Join(dir, stem+".flight.jsonl")
+			path := filepath.Join(s.dumpDir(), stem+".flight.jsonl")
 			n, err := dumpFlight(path, r.rec.Flight)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "# watchdog tripped (%s) in run %q: engine stopped, last %d trace events in %s\n",
 				wd.Tripped(), r.tag, n, path)
+		}
+		if aud := r.rec.Audit; aud != nil && aud.Violation() != "" {
+			path := filepath.Join(s.dumpDir(), stem+".flight.jsonl")
+			n, err := dumpFlight(path, r.rec.Flight)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "# AUDIT VIOLATION in run %q: %s — engine stopped, last %d trace events in %s\n",
+				r.tag, aud.Violation(), n, path)
+			if violation == nil {
+				violation = fmt.Errorf("conservation audit violation in run %q: %s", r.tag, aud.Violation())
+			}
 		}
 		if s.opts.dir != "" || s.opts.hub != nil {
 			if err := s.writeArtifact(stem, r.tag, r.rec); err != nil {
@@ -171,8 +206,20 @@ func (s *obsSink) flush(w io.Writer) error {
 					h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
 			}
 		}
+		if d := r.rec.Digest; d != nil {
+			fmt.Fprintf(w, "# fingerprint %s chain=%016x events=%d\n", r.tag, d.Chain, d.Count)
+		}
 	}
-	return nil
+	return violation
+}
+
+// dumpDir is where flight-recorder post-mortems land: the -series
+// directory when one is configured, the working directory otherwise.
+func (s *obsSink) dumpDir() string {
+	if s.opts.dir != "" {
+		return s.opts.dir
+	}
+	return "."
 }
 
 // writeArtifact emits one run's artifact to the -series file and/or the

@@ -52,9 +52,21 @@ func reportFile(w io.Writer, path string, width int) error {
 		return err
 	}
 
-	fmt.Fprintf(w, "== %s (run %q)\n", path, a.Run)
+	fmt.Fprintf(w, "== %s (run %q, schema v%d)\n", path, a.Run, a.Version)
+	if a.Version > obs.ArtifactVersion {
+		fmt.Fprintf(w, "NOTE: artifact schema v%d is newer than this binary understands (v%d);\n"+
+			"      unknown line types were skipped — upgrade to render everything\n",
+			a.Version, obs.ArtifactVersion)
+	}
+	if a.Unknown > 0 {
+		fmt.Fprintf(w, "skipped %d unknown line(s) from a newer writer\n", a.Unknown)
+	}
 	if a.Watchdog != "" {
 		fmt.Fprintf(w, "WATCHDOG TRIPPED: %s — the run was stopped early\n", a.Watchdog)
+	}
+	if a.Fingerprint != "" {
+		fmt.Fprintf(w, "fingerprint %s over %d events, %d checkpoint(s) — compare with the diff subcommand\n",
+			a.Fingerprint, a.FPEvents, len(a.Ckpts))
 	}
 
 	if len(a.Hists) > 0 {

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"prioplus/internal/obs"
 	"prioplus/internal/obs/stream"
 	"prioplus/internal/runner"
 )
@@ -88,7 +90,8 @@ func TestStreamOnlyRun(t *testing.T) {
 	if n < 2 {
 		t.Fatalf("stream-only run published %d lines", n)
 	}
-	if !strings.Contains(first, `"type":"meta"`) || !strings.Contains(first, `"v":1`) {
+	if !strings.Contains(first, `"type":"meta"`) ||
+		!strings.Contains(first, fmt.Sprintf(`"v":%d`, obs.ArtifactVersion)) {
 		t.Errorf("first streamed line = %q, want a versioned meta line", first)
 	}
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"prioplus/internal/obs/stream"
+	"prioplus/internal/runner"
+)
+
+// TestWatchOnceAgainstLiveServer drives `watch -once` end to end against a
+// real -listen server that has zero runs registered: one frame, exit 0,
+// no panic. An unreachable address exits 1 immediately under -once.
+func TestWatchOnceAgainstLiveServer(t *testing.T) {
+	reg := &runner.Registry{}
+	srv := stream.NewServer(reg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code := runWatch([]string{"-once", srv.Addr()}); code != 0 {
+		t.Errorf("watch -once against empty server exited %d, want 0", code)
+	}
+
+	if code := runWatch([]string{"-once", "127.0.0.1:1"}); code != 1 {
+		t.Errorf("watch -once against dead address exited %d, want 1", code)
+	}
+	if code := runWatch([]string{"-once"}); code != 2 {
+		t.Errorf("watch -once without ADDR exited %d, want 2", code)
+	}
+}
+
+// TestWatchRenderZeroRuns pins the metrics-only frame: with no runs and
+// zeroed snapshots the frame renders the gauges, omits the run table, and
+// never divides by a zero poll window.
+func TestWatchRenderZeroRuns(t *testing.T) {
+	var st watchState
+	frame := renderWatch(&st, "http://x", stream.MetricsSnapshot{}, stream.RunsSnapshot{})
+	if strings.Contains(frame, "RUN") {
+		t.Errorf("frame has a run table with zero runs:\n%s", frame)
+	}
+	if !strings.Contains(frame, "0 ev/s") {
+		t.Errorf("frame missing zero rate:\n%s", frame)
+	}
+
+	// A second poll with the identical wall clock must not record a rate
+	// sample (dt would be zero) or render NaN/Inf.
+	frame = renderWatch(&st, "http://x", stream.MetricsSnapshot{}, stream.RunsSnapshot{})
+	if len(st.rates) != 0 {
+		t.Errorf("rate recorded across a zero-length poll window: %v", st.rates)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(frame, bad) {
+			t.Errorf("frame contains %s:\n%s", bad, frame)
+		}
+	}
+}
+
+// TestWatchRenderCounterReset: a batch whose event counter goes backwards
+// (server restarted between polls) skips the negative-rate sample instead
+// of underflowing the unsigned delta.
+func TestWatchRenderCounterReset(t *testing.T) {
+	var st watchState
+	m := stream.MetricsSnapshot{WallUnixMS: 1000}
+	runs := stream.RunsSnapshot{}
+	runs.Batch.Events = 1_000_000
+	renderWatch(&st, "http://x", m, runs)
+
+	m.WallUnixMS = 2000
+	runs.Batch.Events = 500 // restarted server: counter reset
+	frame := renderWatch(&st, "http://x", m, runs)
+	if len(st.rates) != 0 {
+		t.Errorf("negative delta recorded as a rate: %v", st.rates)
+	}
+	if !strings.Contains(frame, "0 ev/s") {
+		t.Errorf("frame missing zero rate after reset:\n%s", frame)
+	}
+
+	// The next well-ordered poll resumes rate math from the reset base.
+	m.WallUnixMS = 3000
+	runs.Batch.Events = 1_000_500
+	renderWatch(&st, "http://x", m, runs)
+	if len(st.rates) != 1 || st.rates[0] != 1e6 {
+		t.Errorf("rates after recovery = %v, want [1e6]", st.rates)
+	}
+}

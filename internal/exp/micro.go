@@ -28,7 +28,7 @@ func microNet(nHosts int, seed int64, mod func(*topo.Config), o Options) (*harne
 	}
 	nm := noise.NewLongTail(rand.New(rand.NewSource(seed+7)), 1)
 	net := harness.New(topo.Star(eng, nHosts, cfg), seed,
-		harness.WithNoise(nm.Sample),
+		harness.WithNoise(o.noiseFn(nm.Sample)),
 		harness.WithFaults(o.Faults))
 	if o.Recorder != nil {
 		net.Observe(o.Recorder)

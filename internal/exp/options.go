@@ -3,6 +3,7 @@ package exp
 import (
 	"prioplus/internal/fault"
 	"prioplus/internal/obs"
+	"prioplus/internal/sim"
 )
 
 // Options bundles the cross-cutting per-run knobs every figure driver
@@ -21,6 +22,16 @@ type Options struct {
 	// Faults, when non-nil and non-empty, is installed on the topology
 	// before traffic starts (harness.WithFaults).
 	Faults *fault.Plan
+	// Perturb, when non-zero, deliberately diverges the run for testing
+	// the divergence-diagnosis tooling (prioplus-sim diff): the Perturb-th
+	// delay-noise draw is inflated by one microsecond — one RNG draw
+	// nudged, everything else identical — and the digest chain must
+	// localize the butterfly effect to its exact first divergent event.
+	// (A nanosecond would be subtler still, but measured-delay noise is
+	// quantized by CC decision thresholds, so 1ns does not reliably change
+	// any event.) Applies to the micro-fabric experiments (the ones built
+	// on the star topology).
+	Perturb uint64
 }
 
 // seedOr returns the override seed when set, the driver default otherwise.
@@ -29,4 +40,22 @@ func (o Options) seedOr(def int64) int64 {
 		return o.Seed
 	}
 	return def
+}
+
+// noiseFn wraps a delay-noise sampler with the Perturb injection: draw
+// number Perturb (1-based) is inflated by one microsecond. With Perturb
+// zero the sampler is returned unwrapped, so normal runs pay nothing.
+func (o Options) noiseFn(sample func() sim.Time) func() sim.Time {
+	if o.Perturb == 0 {
+		return sample
+	}
+	var n uint64
+	return func() sim.Time {
+		v := sample()
+		n++
+		if n == o.Perturb {
+			v += sim.Microsecond
+		}
+		return v
+	}
 }

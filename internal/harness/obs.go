@@ -105,7 +105,36 @@ func (n *Net) Observe(rec *obs.Recorder) {
 	if rec.Cost != nil {
 		n.Eng.SetCostSampler(rec.Cost.Stride(), rec.Cost.Observe)
 	}
+	if rec.Digest != nil {
+		n.installDigest(rec.Digest)
+	}
 	n.installSampler(rec)
+}
+
+// installDigest hooks the per-event digest chain into the engine and every
+// port (switch ports and host NICs), assigning each port a payload tag and
+// recording the tag → device-name mapping for divergence reports. The
+// digest is pure observation: it installs no sampler, no watchdog, and no
+// trace hooks, so a digest-only recorder leaves simulation behavior — and
+// therefore the chain itself — untouched.
+func (n *Net) installDigest(d *sim.Digest) {
+	n.Eng.SetDigest(d)
+	if d.Names == nil {
+		d.Names = make(map[uint64]string)
+	}
+	tag := uint64(1)
+	for _, sw := range n.Topo.Switches {
+		for _, p := range sw.Ports {
+			p.SetDigest(d, tag)
+			d.Names[tag] = sw.Name + ":" + itoa(p.Index)
+			tag++
+		}
+	}
+	for _, h := range n.Topo.Hosts {
+		h.NIC.SetDigest(d, tag)
+		d.Names[tag] = h.DeviceName()
+		tag++
+	}
 }
 
 // installSampler registers the standard time-series sources and hooks the
@@ -115,7 +144,8 @@ func (n *Net) installSampler(rec *obs.Recorder) {
 	ss := rec.Series
 	wd := rec.Watchdog
 	live := rec.Live
-	if ss == nil && wd == nil && live == nil {
+	aud := rec.Audit
+	if ss == nil && wd == nil && live == nil && aud == nil {
 		return
 	}
 	if live != nil && wd != nil {
@@ -123,6 +153,9 @@ func (n *Net) installSampler(rec *obs.Recorder) {
 	}
 	var lastEvents uint64
 	check := func() {
+		if aud != nil {
+			n.auditCheck(aud)
+		}
 		if wd != nil && wd.Check(n.Pool.LiveBytes(), int64(n.Eng.Pending())) && !wd.KeepRunning {
 			n.Eng.Stop()
 		}
@@ -158,6 +191,57 @@ func (n *Net) installSampler(rec *obs.Recorder) {
 		ss.Sample()
 		check()
 	})
+}
+
+// auditCheck runs the conservation invariants once, on the sampler clock
+// (so every check sits between events, where the books must balance):
+//
+//   - Pool accounting: every packet out of the pool is either sitting in a
+//     port queue or in propagation on a wire — senders create and enqueue
+//     within one event, receivers consume and recycle within one event, so
+//     between events nothing is "held" anywhere else.
+//   - Per-switch shared-buffer accounting (Switch.AuditBuffer): occupancy
+//     totals equal the bytes actually queued.
+//   - PFC pause symmetry (Switch.AuditPFC): with no pause/resume frames in
+//     flight, both ends of every cable agree on pause state.
+//
+// The first violation trips the auditor (which stops the run unless
+// KeepRunning) — a violation is a conservation bug in the simulator, not a
+// property of the workload.
+func (n *Net) auditCheck(aud *obs.Auditor) {
+	aud.Checks++
+	detail := ""
+	queued := 0
+	for _, sw := range n.Topo.Switches {
+		for _, p := range sw.Ports {
+			queued += p.QueuedPackets()
+		}
+	}
+	for _, h := range n.Topo.Hosts {
+		queued += h.NIC.QueuedPackets()
+	}
+	wire := n.Pool.InPropagation()
+	if live, want := n.Pool.LivePackets(), int64(queued)+wire; live != want {
+		detail = "pool: " + itoa64(live) + " live packets != " +
+			itoa(queued) + " queued + " + itoa64(wire) + " in propagation"
+	}
+	if detail == "" {
+		for _, sw := range n.Topo.Switches {
+			if detail = sw.AuditBuffer(); detail != "" {
+				break
+			}
+		}
+	}
+	if detail == "" && n.Pool.CtrlInFlight() == 0 {
+		for _, sw := range n.Topo.Switches {
+			if detail = sw.AuditPFC(); detail != "" {
+				break
+			}
+		}
+	}
+	if aud.Violate(detail) && !aud.KeepRunning {
+		n.Eng.Stop()
+	}
 }
 
 // registerSources adds the standard source catalogue to a series set, in a
@@ -345,9 +429,18 @@ func (n *Net) CollectMetrics(rec *obs.Recorder) {
 			trips.Add(1)
 		}
 	}
+	if rec.Audit != nil {
+		m.Counter("net/audit_checks").Add(float64(rec.Audit.Checks))
+		violations := m.Counter("net/audit_violations")
+		if rec.Audit.Violation() != "" {
+			violations.Add(1)
+		}
+	}
 	if rec.Cost != nil {
 		rec.Cost.Record(m)
 	}
 }
 
 func itoa(i int) string { return strconv.Itoa(i) }
+
+func itoa64(i int64) string { return strconv.FormatInt(i, 10) }

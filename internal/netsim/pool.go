@@ -38,6 +38,14 @@ type PacketPool struct {
 	Puts int64 // packets returned
 
 	liveBytes int64 // wire bytes of packets currently out of the pool
+
+	// Conservation-audit gauges (see harness's -audit wiring). wire counts
+	// packets posted for delivery and not yet received (in propagation);
+	// ctrl counts PFC pause/resume frames in flight. Both are maintained by
+	// Port regardless of whether an auditor is installed — two integer
+	// adds per hop, cheaper than any conditional.
+	wire int64
+	ctrl int64
 }
 
 // NewPacketPool returns an empty pool.
@@ -68,6 +76,25 @@ func (p *PacketPool) LiveBytes() int64 {
 		return 0
 	}
 	return p.liveBytes
+}
+
+// InPropagation returns the number of packets currently on a wire: posted
+// for delivery by a port transmitter and not yet received by the peer.
+func (p *PacketPool) InPropagation() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.wire
+}
+
+// CtrlInFlight returns the number of PFC pause/resume frames currently in
+// flight. The PFC-symmetry audit is only sound when this is zero (a pause
+// on the wire makes sender and receiver state legitimately disagree).
+func (p *PacketPool) CtrlInFlight() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.ctrl
 }
 
 // get hands out a zeroed packet, recycled when possible. The INT backing

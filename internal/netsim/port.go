@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math/bits"
 	"math/rand"
 
@@ -140,6 +141,13 @@ type Port struct {
 	// leaves dropped packets to the GC.
 	Pool *PacketPool
 
+	// Per-event digest chain (harness -fingerprint wiring): when non-nil,
+	// packet and pause deliveries into this port fold the receiving device
+	// and packet identity into the run digest. Nil costs one predictable
+	// branch per delivery; digTag names this port in the digest's Names map.
+	dig    *sim.Digest
+	digTag uint64
+
 	// Devirtualized owner: exactly one of ownerSw/ownerHost is set when
 	// the owner is a concrete Switch or Host (the only in-tree devices),
 	// letting delivery branch to the concrete HandlePacket instead of
@@ -244,8 +252,49 @@ func deliverKindOf(p *Port) uint8 {
 	return sim.EKDeliverHost
 }
 
+// SetDigest installs the run digest on this port for payload folding (see
+// the dig field); tag is the port's identity in the digest's Names map.
+// Pass nil to remove.
+func (p *Port) SetDigest(d *sim.Digest, tag uint64) {
+	p.dig = d
+	p.digTag = tag
+}
+
+// Digest payload encoding for packet deliveries: a carries the flow id,
+// b packs seq<<20 | type<<16 | wire. Pause deliveries set digPauseBit in a
+// and carry the prio<<1|on code in the low bits. The diff subcommand
+// decodes these to print packet context for a divergent event.
+const digPauseBit = uint64(1) << 63
+
+// DescribeDigestPayload renders an (a, b) payload pair recorded by the
+// delivery hooks (see SetDigest and the encoding note above) back into
+// human-readable packet context for divergence reports.
+func DescribeDigestPayload(a, b uint64) string {
+	if a&digPauseBit != 0 {
+		code := a &^ digPauseBit
+		state := "resume"
+		if code&1 != 0 {
+			state = "pause"
+		}
+		return fmt.Sprintf("PFC %s prio=%d", state, code>>1)
+	}
+	return fmt.Sprintf("flow=%d seq=%d type=%s wire=%dB",
+		a, b>>20, PacketType((b>>16)&0xF), b&0xFFFF)
+}
+
 // NumQueues returns the number of priority queues on the port.
 func (p *Port) NumQueues() int { return len(p.queues) }
+
+// QueuedPackets returns the packet count across all priority queues (the
+// byte-independent companion of TotalQueuedBytes, used by the
+// conservation auditor).
+func (p *Port) QueuedPackets() int {
+	total := 0
+	for i := range p.queues {
+		total += p.queues[i].len()
+	}
+	return total
+}
 
 // QueueBytes returns the occupancy of priority queue q in bytes.
 func (p *Port) QueueBytes(q int) int { return p.queues[q].bytes }
@@ -586,6 +635,9 @@ func (p *Port) transmit(it TxItem, q int) {
 	// Closure-free delivery: deliverPacket is a package-level function and
 	// both arguments are pointers, so this schedules without allocating.
 	p.Eng.Post2K(ser+prop, deliverPacket, p.Peer, pkt, p.deliverKind)
+	if p.Pool != nil {
+		p.Pool.wire++
+	}
 	// Reserve the wake's dispatch position now — the exact point the old
 	// scheme allocated its unconditional completion event — so a wake
 	// armed later (or not at all) leaves every other event's tie-break
@@ -657,6 +709,13 @@ func (p *Port) stampTrace(pkt *Packet, q int) {
 func deliverPacket(a, b any) {
 	in := a.(*Port)
 	pkt := b.(*Packet)
+	if in.Pool != nil {
+		in.Pool.wire--
+	}
+	if in.dig != nil {
+		in.dig.FoldPayload(in.digTag, uint64(pkt.FlowID),
+			uint64(pkt.Seq)<<20|uint64(pkt.Type)<<16|uint64(pkt.Wire))
+	}
 	if in.fault != nil && in.fault.drop(in, pkt) {
 		return
 	}
@@ -679,6 +738,12 @@ func deliverPacket(a, b any) {
 func deliverPause(a, b any) {
 	in := a.(*Port)
 	code := b.(int)
+	if in.Pool != nil {
+		in.Pool.ctrl--
+	}
+	if in.dig != nil {
+		in.dig.FoldPayload(in.digTag, digPauseBit|uint64(code), 0)
+	}
 	if sw := in.ownerSw; sw != nil {
 		sw.HandlePause(code>>1, code&1 == 1, in)
 		return
@@ -700,4 +765,7 @@ func (p *Port) SendPause(prio int, on bool) {
 		code |= 1
 	}
 	p.Eng.Post2K(d, deliverPause, p.Peer, code, sim.EKPause)
+	if p.Pool != nil {
+		p.Pool.ctrl++
+	}
 }

@@ -268,3 +268,71 @@ func (s *Switch) releaseItem(it TxItem) {
 		s.Ports[it.InPort].SendPause(int(it.QPrio), false)
 	}
 }
+
+// AuditBuffer checks the switch's conservation invariants between events:
+// shared-pool and headroom occupancy must be non-negative, the headroom
+// total must equal the per-class sum, and occupancy must equal the bytes
+// actually sitting in the egress queues (admission charges on arrival,
+// release happens at dequeue, and both stay within one event — so between
+// events the books must balance exactly). It returns "" when every
+// invariant holds, else a description of the first violation. Only sound
+// from a sampler hook: mid-event the charge and the enqueue are
+// legitimately out of step.
+func (s *Switch) AuditBuffer() string {
+	b := s.buf
+	if b.used < 0 {
+		return fmt.Sprintf("%s: shared-pool occupancy negative (%d bytes)", s.Name, b.used)
+	}
+	if b.hdrUsed < 0 {
+		return fmt.Sprintf("%s: headroom occupancy negative (%d bytes)", s.Name, b.hdrUsed)
+	}
+	hdrSum := 0
+	for i, h := range b.hdr {
+		if h < 0 {
+			return fmt.Sprintf("%s: class %d headroom negative (%d bytes)", s.Name, i, h)
+		}
+		if b.ing[i] < 0 {
+			return fmt.Sprintf("%s: class %d ingress occupancy negative (%d bytes)", s.Name, i, b.ing[i])
+		}
+		hdrSum += h
+	}
+	if hdrSum != b.hdrUsed {
+		return fmt.Sprintf("%s: headroom total %d != per-class sum %d", s.Name, b.hdrUsed, hdrSum)
+	}
+	queued := 0
+	for _, p := range s.Ports {
+		queued += p.TotalQueuedBytes()
+	}
+	if b.used+b.hdrUsed != queued {
+		return fmt.Sprintf("%s: buffer accounting %d (shared %d + headroom %d) != queued bytes %d",
+			s.Name, b.used+b.hdrUsed, b.used, b.hdrUsed, queued)
+	}
+	return ""
+}
+
+// AuditPFC checks PFC pause symmetry: with no pause/resume frames in
+// flight (the caller gates on PacketPool.CtrlInFlight() == 0), every
+// ingress class this switch has paused must be seen as paused by the
+// upstream peer's egress queue, and vice versa. Peers with fewer queues
+// than the class width are skipped — their clampPrio folds several
+// priorities onto one queue, making per-priority symmetry ill-defined
+// (host NICs are the in-tree case). Returns "" when symmetric, else a
+// description of the first asymmetry.
+func (s *Switch) AuditPFC() string {
+	b := s.buf
+	lossless := min(s.Buffer.LosslessPrios, b.nprios)
+	for _, p := range s.Ports {
+		peer := p.Peer
+		if peer == nil || peer.NumQueues() < lossless {
+			continue
+		}
+		for prio := 0; prio < lossless; prio++ {
+			want := b.paused[p.Index*b.nprios+prio]
+			if got := peer.Paused(prio); got != want {
+				return fmt.Sprintf("%s: port %d prio %d pause asymmetry: ingress paused=%v, upstream %s egress paused=%v",
+					s.Name, p.Index, prio, want, peer.name(), got)
+			}
+		}
+	}
+	return ""
+}

@@ -17,13 +17,14 @@ import (
 //
 // Line types:
 //
-//	{"type":"meta","v":1,"run":...,"interval_us":...,"start_us":...,"watchdog":...}
+//	{"type":"meta","v":2,"run":...,"interval_us":...,"start_us":...,"watchdog":...,"fp":...,"fp_events":N}
 //	{"type":"sample","i":0,"t_us":...,"v":[...]}          // one per tick
 //	{"type":"hist","name":...,"unit":...,"count":...,...}  // one per histogram
 //	{"type":"metric","name":...,"v":...}                   // one per metric
 //	{"type":"fault","t_us":...,"kind":...,"dev":...,"port":N} // one per fault event
 //	{"type":"flow","flow":...,"spans":N,"dropped":D}       // one per traced flow
 //	{"type":"span","flow":...,"t_us":...,"kind":...,...}   // one per span
+//	{"type":"ckpt","n":...,"t_us":...,"h":"<16-hex>"}      // one per digest checkpoint
 //
 // The meta line declares the series column order; every sample line's "v"
 // array aligns with it. Span lines follow their flow line, in recording
@@ -35,17 +36,29 @@ import (
 // skipped, counted in Artifact.Unknown — so streamed and on-disk artifacts
 // from newer writers still load.
 type Artifact struct {
-	Run        string
-	Version    int // meta-line schema version; 0 for pre-versioned artifacts
-	Unknown    int // lines with an unrecognized type, skipped on read
-	IntervalUS float64
-	StartUS    float64
-	Watchdog   string // watchdog trip reason, "" when healthy
-	Series     []ArtifactSeries
-	Hists      []ArtifactHist
-	Metrics    []ArtifactMetric
-	Faults     []ArtifactFault
-	Flows      []ArtifactFlow
+	Run         string
+	Version     int // meta-line schema version; 0 for pre-versioned artifacts
+	Unknown     int // lines with an unrecognized type, skipped on read
+	IntervalUS  float64
+	StartUS     float64
+	Watchdog    string // watchdog trip reason, "" when healthy
+	Fingerprint string // final digest chain (16 hex digits), "" when off
+	FPEvents    uint64 // events folded into the fingerprint
+	Series      []ArtifactSeries
+	Hists       []ArtifactHist
+	Metrics     []ArtifactMetric
+	Faults      []ArtifactFault
+	Flows       []ArtifactFlow
+	Ckpts       []ArtifactCkpt
+}
+
+// ArtifactCkpt is one digest checkpoint: the chain value after N events
+// with the simulated clock at TUS. prioplus-sim diff aligns two runs'
+// checkpoints by N to localize the first divergent event window.
+type ArtifactCkpt struct {
+	N     uint64  // dispatched events folded so far
+	TUS   float64 // simulated time of the N-th event
+	Chain string  // chain hash after it, 16 hex digits
 }
 
 // ArtifactFault is one executed fault event (link flap edge or reboot).
@@ -105,7 +118,9 @@ type ArtifactSpan struct {
 // ArtifactVersion is the schema version stamped on every meta line ("v").
 // Bump it when a change would confuse an old reader; additive fields and
 // new line types do not require a bump (readers skip what they don't know).
-const ArtifactVersion = 1
+// v2 added the execution fingerprint: "fp"/"fp_events" on the meta line
+// and "ckpt" checkpoint lines.
+const ArtifactVersion = 2
 
 // artifactMeta is the meta line's own shape. It is separate from
 // artifactLine because both use the "v" key — schema version here, the
@@ -117,6 +132,8 @@ type artifactMeta struct {
 	IntervalUS float64          `json:"interval_us,omitempty"`
 	StartUS    float64          `json:"start_us,omitempty"`
 	Watchdog   string           `json:"watchdog,omitempty"`
+	FP         string           `json:"fp,omitempty"`
+	FPEvents   uint64           `json:"fp_events,omitempty"`
 	Series     []ArtifactSeries `json:"series,omitempty"`
 }
 
@@ -142,6 +159,8 @@ type artifactLine struct {
 	Port       int              `json:"port,omitempty"`
 	A          float64          `json:"a,omitempty"`
 	B          float64          `json:"b,omitempty"`
+	N          uint64           `json:"n,omitempty"`
+	H          string           `json:"h,omitempty"`
 }
 
 // WriteArtifact serializes a run's telemetry to w. Series, histograms, and
@@ -154,6 +173,10 @@ func WriteArtifact(w io.Writer, run string, rec *Recorder) error {
 	if rec.Watchdog != nil {
 		meta.Watchdog = rec.Watchdog.Tripped()
 	}
+	if rec.Digest != nil {
+		meta.FP = fmt.Sprintf("%016x", rec.Digest.Chain)
+		meta.FPEvents = rec.Digest.Count
+	}
 	if rec.Series != nil {
 		meta.IntervalUS = rec.Series.Interval.Micros()
 		meta.StartUS = rec.Series.Start.Micros()
@@ -165,6 +188,19 @@ func WriteArtifact(w io.Writer, run string, rec *Recorder) error {
 		return err
 	}
 
+	if rec.Digest != nil {
+		// Checkpoints go right after the meta line so diff can localize a
+		// divergence window without scanning past a large series body.
+		for _, c := range rec.Digest.Ckpts {
+			line := artifactLine{
+				Type: "ckpt", N: c.Count, TUS: c.Clock.Micros(),
+				H: fmt.Sprintf("%016x", c.Chain),
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
 	if rec.Series != nil {
 		all := rec.Series.All()
 		row := make([]float64, len(all))
@@ -281,11 +317,13 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 			art.IntervalUS = m.IntervalUS
 			art.StartUS = m.StartUS
 			art.Watchdog = m.Watchdog
+			art.Fingerprint = m.FP
+			art.FPEvents = m.FPEvents
 			art.Series = m.Series
 			continue
 		}
 		switch probe.Type {
-		case "sample", "hist", "metric", "fault", "flow", "span":
+		case "sample", "hist", "metric", "fault", "flow", "span", "ckpt":
 		default:
 			// A line type from a newer writer: skip it without attempting
 			// to decode (its fields may not fit this schema), keep count.
@@ -330,6 +368,8 @@ func ReadArtifact(r io.Reader) (*Artifact, error) {
 				TUS: line.TUS, Kind: line.Kind, Seq: line.Seq,
 				DelayUS: line.DelayUS, Dev: line.Dev, A: line.A, B: line.B,
 			})
+		case "ckpt":
+			art.Ckpts = append(art.Ckpts, ArtifactCkpt{N: line.N, TUS: line.TUS, Chain: line.H})
 		}
 	}
 	if err := sc.Err(); err != nil {

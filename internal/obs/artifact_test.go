@@ -203,7 +203,7 @@ func TestArtifactVersionRoundTrip(t *testing.T) {
 	if err := obs.WriteArtifact(&buf, "x", sampleRecorder(t)); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"type":"meta","v":1`) {
+	if !strings.Contains(buf.String(), `"type":"meta","v":2`) {
 		t.Error("meta line missing schema version")
 	}
 	a, err := obs.ReadArtifact(&buf)
@@ -212,6 +212,43 @@ func TestArtifactVersionRoundTrip(t *testing.T) {
 	}
 	if a.Version != obs.ArtifactVersion {
 		t.Errorf("Version = %d, want %d", a.Version, obs.ArtifactVersion)
+	}
+}
+
+func TestArtifactCkptRoundTrip(t *testing.T) {
+	rec := obs.NewRecorder()
+	rec.Digest = sim.NewDigest()
+	// Drive a tiny engine so the digest has a real chain and checkpoints.
+	e := sim.NewEngine()
+	e.SetDigest(rec.Digest)
+	var tick func()
+	tick = func() {
+		if rec.Digest.Count < 3*sim.DigestCheckpointEvery {
+			e.Post(1, tick)
+		}
+	}
+	e.Post(0, tick)
+	e.Run()
+	var buf bytes.Buffer
+	if err := obs.WriteArtifact(&buf, "fp", rec); err != nil {
+		t.Fatal(err)
+	}
+	a, err := obs.ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == "" || a.FPEvents != rec.Digest.Count {
+		t.Fatalf("fingerprint meta missing: fp=%q events=%d (want %d)",
+			a.Fingerprint, a.FPEvents, rec.Digest.Count)
+	}
+	if len(a.Ckpts) != len(rec.Digest.Ckpts) || len(a.Ckpts) == 0 {
+		t.Fatalf("got %d ckpt lines, want %d", len(a.Ckpts), len(rec.Digest.Ckpts))
+	}
+	for i, c := range a.Ckpts {
+		want := rec.Digest.Ckpts[i]
+		if c.N != want.Count || len(c.Chain) != 16 {
+			t.Fatalf("ckpt %d = %+v, want count %d", i, c, want.Count)
+		}
 	}
 }
 

@@ -16,6 +16,8 @@
 // units, and which paper figure it validates.
 package obs
 
+import "prioplus/internal/sim"
+
 // Counter is a monotonically increasing metric cell. The zero value is
 // ready to use. Counters are not safe for concurrent use: one run, one
 // goroutine, one registry.
@@ -178,6 +180,16 @@ type Recorder struct {
 	// sim clock, in-flight bytes) at every sampling tick for the stream
 	// server's /runs endpoint.
 	Live *LiveRun
+	// Digest, when non-nil, is the run's per-event execution fingerprint:
+	// harness.Net.Observe installs it on the engine and every port, and
+	// the chain's checkpoints land in the artifact as "ckpt" lines. Pure
+	// observation — the chain is invariant across observability
+	// configurations (see sim.Digest).
+	Digest *sim.Digest
+	// Audit, when non-nil, runs the harness's conservation invariants at
+	// every sampler tick; a violation stops the run (unless KeepRunning)
+	// and dumps the flight recorder.
+	Audit *Auditor
 }
 
 // NewRecorder returns a recorder with an empty registry and no trace sink.

@@ -180,6 +180,10 @@ type Engine struct {
 	costEvery int64
 	costSkip  int64
 
+	// Per-event digest chain (SetDigest). Nil when fingerprinting is off;
+	// the dispatch loop pays one always-false nil check.
+	dig *Digest
+
 	// Logical-event accounting: seqs reserved (ReserveSeq) and later filed
 	// (PostAtSeq). reserved-minus-filed counts elided events — see
 	// TotalEvents. The acc* fields are the portion already flushed into
@@ -541,6 +545,9 @@ func (e *Engine) runBatch(at Time) {
 			fn2(a0, a1)
 		} else {
 			fn()
+		}
+		if e.dig != nil {
+			e.dig.fold(at, ent.seq, kind)
 		}
 		if e.stopped {
 			for _, rest := range e.batch[i+1:] {

@@ -1,0 +1,34 @@
+#!/bin/sh
+# benchtrend.sh — render the per-PR benchmark trajectory as a markdown
+# table from the committed BENCH_<pr>.json files.
+#
+# Each PR records its numbers under slightly different keys (ns_per_op vs
+# ns_per_op_mean vs best-of, one-off batch throughput keys), so every
+# metric is picked through a fallback chain; a PR that did not measure a
+# metric renders "-". Output goes to stdout; the current table is pasted
+# into docs/PERFORMANCE.md ("Benchmark trajectory") when it changes.
+#
+#   sh scripts/benchtrend.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null 2>&1 || { echo "benchtrend.sh: jq not found" >&2; exit 1; }
+
+files=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+[ -n "$files" ] || { echo "benchtrend.sh: no BENCH_*.json files" >&2; exit 1; }
+
+echo "| PR | date | EngineScheduleRun ns/op | PacketPath ns/op | Fig10bIncast ms/op | batch Mev/s |"
+echo "|---:|------|------------------------:|-----------------:|-------------------:|------------:|"
+for f in $files; do
+    jq -r '
+        def pick(p): p // "-";
+        def mev: if . == "-" then . else (. / 1e6 * 100 | round / 100) end;
+        "| \(.pr) | \(.date) " +
+        "| \(pick(.engine_schedule_run | (.ns_per_op // .ns_per_op_mean // .ns_per_op_median // .ns_per_op_best))) " +
+        "| \(pick(.packet_path | (.ns_per_op // .ns_per_op_mean // .ns_per_op_median // .best_of_5_ns_per_op // .ns_per_op_best))) " +
+        "| \(pick(.fig10b_incast | (.ms_per_op // .ms_per_op_mean // .ms_per_op_median))) " +
+        "| \((.batch // {} |
+             (.events_per_sec // .events_per_sec_head_basis // .events_per_sec_parallel1))
+           // (.live_streaming // {} | .events_per_sec_logical) // "-" | mev) |"
+    ' "$f"
+done
