@@ -19,7 +19,7 @@ import (
 func BenchmarkFig2ChipRatios(b *testing.B) {
 	var t2, t4 float64
 	for i := 0; i < b.N; i++ {
-		for _, r := range exp.Fig2() {
+		for _, r := range exp.Fig2(exp.Options{}) {
 			switch r.Chip {
 			case "Trident2":
 				t2 = r.RatioMBpT
@@ -79,7 +79,7 @@ func BenchmarkFig3dTradeoffs(b *testing.B) {
 // BenchmarkFig7NoiseCDF: the delay-noise model's summary statistics.
 func BenchmarkFig7NoiseCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, st := exp.Fig7(100_000)
+		_, st := exp.Fig7(exp.Fig7Config{Samples: 100_000}, exp.Options{})
 		b.ReportMetric(st.Mean.Micros(), "mean_us")
 		b.ReportMetric(st.P9985.Micros(), "p9985_us")
 		b.ReportMetric(st.FracGt1*100, "pct_gt_1us")
@@ -230,7 +230,7 @@ func BenchmarkFig10bIncastTrace(b *testing.B) {
 func BenchmarkFig10cDualRTT(b *testing.B) {
 	var r exp.Fig10cResult
 	for i := 0; i < b.N; i++ {
-		r = exp.Fig10c()
+		r = exp.Fig10c(exp.Options{})
 	}
 	b.ReportMetric(r.DualRTT.RateStdev, "dualrtt_rate_var")
 	b.ReportMetric(r.EveryRTT.RateStdev, "everyrtt_rate_var")
@@ -242,7 +242,7 @@ func BenchmarkFig10cDualRTT(b *testing.B) {
 func BenchmarkFig10dNoise(b *testing.B) {
 	var pts []exp.Fig10dPoint
 	for i := 0; i < b.N; i++ {
-		pts = exp.Fig10d([]float64{1, 4}, []float64{1, 8})
+		pts = exp.Fig10d(exp.Fig10dConfig{Scales: []float64{1, 4}, WidthsUS: []float64{1, 8}}, exp.Options{})
 	}
 	for _, p := range pts {
 		if p.NoiseScale == 4 && p.WidthUS == 1 {
@@ -316,7 +316,7 @@ func BenchmarkFig12cTraining(b *testing.B) {
 func BenchmarkFig13NCDelay(b *testing.B) {
 	var pts []exp.Fig13Point
 	for i := 0; i < b.N; i++ {
-		pts = exp.Fig13([]float64{10}, []float64{0, 8, 24})
+		pts = exp.Fig13(exp.Fig13Config{TolerancesUS: []float64{10}, RangesUS: []float64{0, 8, 24}}, exp.Options{})
 	}
 	for _, p := range pts {
 		switch p.RangeUS {
@@ -339,7 +339,7 @@ func BenchmarkFig14PrioBreakdown(b *testing.B) {
 		cfg.Load = 0.5
 		cfg.Duration = 4 * sim.Millisecond
 		cfg.Drain = 16 * sim.Millisecond
-		rows = exp.Fig14(cfg, []exp.Scheme{exp.PrioPlusSwift()})
+		rows = exp.Fig14(cfg, []exp.Scheme{exp.PrioPlusSwift()}, exp.Options{})
 	}
 	for _, r := range rows {
 		if r.Class == "small" {
@@ -377,7 +377,7 @@ func BenchmarkFig16HPCC(b *testing.B) {
 		cfg.K = 4
 		cfg.Duration = 4 * sim.Millisecond
 		cfg.Drain = 16 * sim.Millisecond
-		rows = exp.Fig16(8, cfg)
+		rows = exp.Fig16(8, cfg, exp.Options{})
 	}
 	for _, r := range rows {
 		switch r.Scheme {
@@ -437,7 +437,7 @@ func BenchmarkFig18CoflowBaselines(b *testing.B) {
 func BenchmarkTable2StartStrategies(b *testing.B) {
 	var rows []exp.Table2Row
 	for i := 0; i < b.N; i++ {
-		rows = exp.Table2()
+		rows = exp.Table2(exp.Options{})
 	}
 	for _, r := range rows {
 		switch r.Strategy {

@@ -13,8 +13,10 @@ import (
 	"strings"
 	"time"
 
+	"prioplus/internal/exp"
 	"prioplus/internal/obs/stream"
 	"prioplus/internal/runner"
+	"prioplus/internal/serve"
 	"prioplus/internal/sim"
 )
 
@@ -47,7 +49,7 @@ func runAll(args []string) int {
 		obsOpt.fingerprint = true
 	}
 
-	ids := experiments
+	ids := exp.IDs()
 	if *onlyArg != "" {
 		ids = strings.Split(*onlyArg, ",")
 		for _, id := range ids {
@@ -163,7 +165,7 @@ func runAll(args []string) int {
 		}
 		fp := ""
 		if obsOpt.fingerprint && r.Err == nil {
-			fps[r.Name] = fmt.Sprintf("%016x", fnv64a(r.Output))
+			fps[r.Name] = serve.OutputFingerprint(r.Output)
 			fp = " fp=" + fps[r.Name]
 		}
 		fmt.Printf("== %-20s %10.2fms  %s%s\n", r.Name, float64(r.Wall.Microseconds())/1000, status, fp)
@@ -202,18 +204,6 @@ func runAll(args []string) int {
 		return 1
 	}
 	return 0
-}
-
-// fnv64a is the FNV-64a hash of a run's captured output. With -fingerprint
-// the output embeds each run's digest chain (the "# fingerprint" lines), so
-// this one value covers both the rendered figures and the execution
-// fingerprints beneath them.
-func fnv64a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * 1099511628211
-	}
-	return h
 }
 
 // fpManifest is the on-disk fingerprint manifest (testdata/fingerprints.json):
@@ -265,13 +255,13 @@ func checkManifest(path string, fps map[string]string) error {
 	return nil
 }
 
+// validExperiment resolves id against the exp registry — the single
+// source of truth for experiment ids since the spec-registry refactor.
 func validExperiment(id string) error {
-	for _, known := range experiments {
-		if id == known {
-			return nil
-		}
+	if _, ok := exp.Lookup(id); !ok {
+		return fmt.Errorf("unknown experiment %q", id)
 	}
-	return fmt.Errorf("unknown experiment %q", id)
+	return nil
 }
 
 func parseSeeds(s string) ([]int64, error) {

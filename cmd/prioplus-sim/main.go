@@ -42,20 +42,9 @@ import (
 	"strings"
 
 	"prioplus/internal/exp"
-	"prioplus/internal/obs"
 	"prioplus/internal/obs/stream"
 	"prioplus/internal/runner"
-	"prioplus/internal/sim"
-	"prioplus/internal/stats"
 )
-
-// experiments lists every experiment id in the order `all` runs them.
-var experiments = []string{
-	"fig2", "fig3a", "fig3b", "fig3c", "fig3d", "fig7", "fig8", "fig9",
-	"fig10a", "fig10b", "fig10c", "fig10d", "fig11", "fig12ab", "fig12c",
-	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"tab2", "appd", "ablation", "ext-ecn", "ext-weighted", "faultsweep",
-}
 
 // runOpts carries the per-run knobs shared by single and batch mode.
 type runOpts struct {
@@ -82,6 +71,8 @@ func main() {
 		os.Exit(runWatch(os.Args[2:]))
 	case "diff":
 		os.Exit(runDiff(os.Args[2:]))
+	case "serve":
+		os.Exit(runServe(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet(expID, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's full scale")
@@ -249,337 +240,24 @@ func runExperiment(expID string, o runOpts, w io.Writer) error {
 
 // runExperimentWith is runExperiment with a caller-supplied sink, so the
 // diff subcommand can rerun an experiment and inspect the recorders (and
-// their digest chains) afterwards instead of only seeing flushed text.
+// their digest chains) afterwards instead of only seeing flushed text. The
+// experiment itself is resolved through the exp registry; this function
+// only translates the CLI's flag bundle into exp.RunParams and flushes the
+// sink afterwards.
 func runExperimentWith(expID string, o runOpts, sink *obsSink, w io.Writer) error {
-	switch expID {
-	case "fig2":
-		tb := stats.NewTable("chip", "year", "buffer(MB)", "bandwidth(Tbps)", "MB/Tbps")
-		for _, r := range exp.Fig2() {
-			tb.AddRow(r.Chip, r.Year, r.BufferMB, r.BandTbps, r.RatioMBpT)
-		}
-		tb.Render(w)
-
-	case "fig3a":
-		r := exp.Fig3a(8<<20, exp.Options{Perturb: o.obs.perturb})
-		fmt.Fprintf(w, "D2TCP, deadlines 1x/2x ideal FCT on one queue\n")
-		fmt.Fprintf(w, "  high-priority share during contention: %.2f (strict would be ~1.0)\n", r.HighShare)
-		fmt.Fprintf(w, "  high-priority FCT vs ideal: %.2fx (strict would be ~1.0x)\n", r.HighFCTvsIdeal)
-		printSeries(w, o.series, r.Series)
-
-	case "fig3b":
-		r := exp.Fig3b(exp.Options{Perturb: o.obs.perturb})
-		fmt.Fprintf(w, "Swift + target scaling, targets base+15us vs base+5us\n")
-		fmt.Fprintf(w, "  high-target share: %.2f (weighted sharing, violates O1)\n", r.HighShare)
-		printSeries(w, o.series, r.Series)
-
-	case "fig3c":
-		n := 300
-		if !o.full {
-			n = 100
-		}
-		r := exp.Fig3c(n, exp.Options{Perturb: o.obs.perturb})
-		fmt.Fprintf(w, "Swift w/o scaling, %d low flows + 1 high flow\n", n)
-		fmt.Fprintf(w, "  utilization before high flow: %.2f (fluctuation causes waste, violates O2)\n", r.UtilBefore)
-		fmt.Fprintf(w, "  delay above high target: %.0f%% of samples\n", r.OverLimitFrac*100)
-		fmt.Fprintf(w, "  high flow share after start: %.2f (decelerates, violates O1)\n", r.HighShareAfter)
-
-	case "fig3d":
-		r := exp.Fig3d(exp.Options{Perturb: o.obs.perturb})
-		fmt.Fprintf(w, "Swift w/o scaling trade-offs (§3.3)\n")
-		fmt.Fprintf(w, "  extra queue from line-rate start: %d B\n", r.ExtraQueueOnStart)
-		fmt.Fprintf(w, "  reclaim delay after high flows stop: %v\n", r.ReclaimDelay)
-
-	case "fig7":
-		cdf, st := exp.Fig7(200_000)
-		fmt.Fprintf(w, "delay noise: mean %v, P99 %v, P99.85 %v, P(>1us) %.4f\n",
-			st.Mean, st.P99, st.P9985, st.FracGt1)
-		if o.series {
-			for _, p := range cdf {
-				fmt.Fprintf(w, "  %.3fus %.4f\n", p[0], p[1])
-			}
-		}
-
-	case "fig8":
-		interval := 4 * sim.Millisecond
-		if !o.full {
-			interval = 2 * sim.Millisecond
-		}
-		var ppRec, swRec *obs.Recorder
-		if sink != nil {
-			ppRec = sink.recorder("pp")
-			swRec = sink.recorder("swift")
-		}
-		pp := exp.Fig8(true, interval, exp.Options{Recorder: ppRec, Perturb: o.obs.perturb})
-		sw := exp.Fig8(false, interval, exp.Options{Recorder: swRec, Perturb: o.obs.perturb})
-		tb := stats.NewTable("scheme", "dominance of newest priority")
-		tb.AddRow(pp.Scheme, pp.DominanceFrac)
-		tb.AddRow(sw.Scheme, sw.DominanceFrac)
-		tb.Render(w)
-		printSeries(w, o.series, pp.Series)
-
-	case "fig9":
-		pp := exp.Fig9(true, exp.Options{Perturb: o.obs.perturb})
-		sw := exp.Fig9(false, exp.Options{Perturb: o.obs.perturb})
-		tb := stats.NewTable("scheme", "frac of samples above D_limit")
-		tb.AddRow(pp.Scheme, pp.OverLimitFrac)
-		tb.AddRow(sw.Scheme, sw.OverLimitFrac)
-		tb.Render(w)
-
-	case "fig10a":
-		// Adjacent-priority takeover needs a few ms (probe + one-packet
-		// resume + capped adaptive increase), which is why the paper's
-		// intervals are 5 ms.
-		per, interval := 30, 5*sim.Millisecond
-		if !o.full {
-			per, interval = 6, 5*sim.Millisecond
-		}
-		shares := exp.Fig10a(per, interval, exp.Options{Perturb: o.obs.perturb})
-		tb := stats.NewTable("priority", "share in own interval")
-		for p, s := range shares {
-			tb.AddRow(p, s)
-		}
-		tb.Render(w)
-
-	case "fig10b":
-		n := 300
-		if !o.full {
-			n = 80
-		}
-		var rec *obs.Recorder
-		if sink != nil {
-			rec = sink.recorder("incast")
-		}
-		r := exp.Fig10b(n, exp.Options{Recorder: rec, Perturb: o.obs.perturb})
-		fmt.Fprintf(w, "%d-flow incast, D_target %v\n", n, r.Target)
-		fmt.Fprintf(w, "  delay within channel: %.0f%% of samples; mean delay %v\n", r.WithinFrac*100, r.MeanDelay)
-
-	case "fig10c":
-		r := exp.Fig10c()
-		tb := stats.NewTable("variant", "takeover time", "rate variance after")
-		tb.AddRow("dual-RTT", r.DualRTT.TakeoverTime, r.DualRTT.RateStdev)
-		tb.AddRow("every-RTT", r.EveryRTT.TakeoverTime, r.EveryRTT.RateStdev)
-		tb.Render(w)
-
-	case "fig10d":
-		scales := []float64{1, 2, 4, 8}
-		widths := []float64{1, 2, 4, 8, 12, 16}
-		tb := stats.NewTable("noise scale", "channel width (us)", "utilization")
-		for _, p := range exp.Fig10d(scales, widths) {
-			tb.AddRow(p.NoiseScale, p.WidthUS, p.Util)
-		}
-		tb.Render(w)
-
-	case "fig11":
-		counts := []int{1, 2, 4, 6, 8, 12}
-		base := exp.DefaultFlowSchedConfig(exp.PrioPlusSwift(), 8)
-		base.Seed = o.seed
-		if !o.full {
-			base.K = 4
-			base.Duration = 5 * sim.Millisecond
-			base.Drain = 20 * sim.Millisecond
-			counts = []int{2, 4, 8}
-		}
-		if sink != nil {
-			base.ObsFor = sink.recorder
-		}
-		printFig11(w, exp.Fig11(counts, base))
-
-	case "fig12ab":
-		for _, load := range []float64{0.4, 0.7} {
-			cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), load)
-			cfg.Seed = o.seed
-			if o.full {
-				cfg = cfg.PaperScale()
-				cfg.Duration = 100 * sim.Millisecond
-				cfg.Drain = 400 * sim.Millisecond
-			}
-			if sink != nil {
-				cfg.ObsFor = sink.recorder
-			}
-			fmt.Fprintf(w, "coflow CCT speedup vs Swift baseline, load %.0f%%\n", load*100)
-			printCoflow(w, exp.Fig12Coflow(cfg, false))
-		}
-
-	case "fig15":
-		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
-		cfg.Seed = o.seed
-		if o.full {
-			cfg = cfg.PaperScale()
-			cfg.Duration = 100 * sim.Millisecond
-			cfg.Drain = 400 * sim.Millisecond
-		}
-		if sink != nil {
-			cfg.ObsFor = sink.recorder
-		}
-		fmt.Fprintln(w, "tail (p99) CCT speedup vs Swift baseline, load 70%")
-		printCoflow(w, exp.Fig12Coflow(cfg, true))
-
-	case "fig17":
-		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
-		cfg.Seed = o.seed
-		cfg.Lossy = true
-		if o.full {
-			cfg = cfg.PaperScale()
-			cfg.Duration = 100 * sim.Millisecond
-			cfg.Drain = 400 * sim.Millisecond
-		}
-		if sink != nil {
-			cfg.ObsFor = sink.recorder
-		}
-		fmt.Fprintln(w, "coflow CCT speedup, lossy fabric (PFC off, IRN recovery), load 70%")
-		printCoflow(w, exp.Fig12Coflow(cfg, false))
-
-	case "fig18":
-		cfg := exp.DefaultCoflowConfig(exp.PrioPlusSwift(), 0.7)
-		cfg.Seed = o.seed
-		// The "Physical* w/o CC" run is armed with an in-flight-bytes
-		// watchdog: uncapped it materializes tens of GB of packets in
-		// PFC-paused queues and never finishes (see CoflowConfig.MaxInflight).
-		// Healthy schemes peak around 21 MB in flight at this scale, so the
-		// ceiling only ever cuts the uncontrolled baseline.
-		cfg.MaxInflight = 128 << 20
-		if o.full {
-			cfg = cfg.PaperScale()
-			cfg.Duration = 100 * sim.Millisecond
-			cfg.Drain = 400 * sim.Millisecond
-			cfg.MaxInflight = 1 << 30
-		}
-		if sink != nil {
-			cfg.ObsFor = sink.recorder
-		}
-		fmt.Fprintln(w, "coflow CCT speedup with HPCC and Physical w/o CC, load 70%")
-		printCoflow(w, exp.Fig12Coflow(cfg, false, exp.HPCCPhysical(8), exp.NoCCPhysicalIdeal()))
-
-	case "fig12c":
-		cfg := exp.DefaultMLConfig(exp.PrioPlusSwift())
-		cfg.Seed = o.seed
-		if o.full {
-			cfg.GradScale = 1
-			cfg.Duration = sim.Second
-		}
-		tb := stats.NewTable("scheme", "ResNet speedup", "VGG speedup", "overall")
-		for _, r := range exp.Fig12ML(cfg) {
-			tb.AddRow(r.Scheme, r.ResNet, r.VGG, r.Overall)
-		}
-		tb.Render(w)
-
-	case "fig13":
-		tols := []float64{10, 20, 30}
-		ranges := []float64{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40}
-		tb := stats.NewTable("tolerance(us)", "nc-delay range(us)", "normalized FCT gap")
-		for _, p := range exp.Fig13(tols, ranges) {
-			tb.AddRow(p.ToleranceUS, p.RangeUS, p.GapPerFlow)
-		}
-		tb.Render(w)
-
-	case "fig14":
-		base := exp.DefaultFlowSchedConfig(exp.PrioPlusSwift(), 12)
-		base.Seed = o.seed
-		base.Load = 0.5
-		if !o.full {
-			base.K = 4
-			base.Duration = 5 * sim.Millisecond
-			base.Drain = 20 * sim.Millisecond
-		}
-		if sink != nil {
-			base.ObsFor = sink.recorder
-		}
-		rows := exp.Fig14(base, []exp.Scheme{exp.PrioPlusSwift(), exp.SwiftPhysicalIdeal(), exp.D2TCP(), exp.NoCCPhysicalIdeal()})
-		tb := stats.NewTable("scheme", "priority band", "size class", "FCT / Physical*")
-		for _, r := range rows {
-			tb.AddRow(r.Scheme, r.Band, r.Class, r.Norm)
-		}
-		tb.Render(w)
-
-	case "fig16":
-		base := exp.DefaultFlowSchedConfig(exp.PrioPlusSwift(), 8)
-		base.Seed = o.seed
-		if !o.full {
-			base.K = 4
-			base.Duration = 5 * sim.Millisecond
-			base.Drain = 20 * sim.Millisecond
-		}
-		if sink != nil {
-			base.ObsFor = sink.recorder
-		}
-		printFig11(w, exp.Fig16(8, base))
-
-	case "ablation":
-		fmt.Fprintln(w, "== filter (two-consecutive) vs none, 2x noise ==")
-		tb := stats.NewTable("consec limit", "spurious yields", "utilization")
-		for _, r := range exp.AblationFilter() {
-			tb.AddRow(r.ConsecLimit, r.Yields, r.Util)
-		}
-		tb.Render(w)
-		fmt.Fprintln(w, "\n== flow-cardinality estimation on/off, 40-flow incast ==")
-		tb = stats.NewTable("estimation", "frac above D_limit")
-		for _, r := range exp.AblationCardinality(40) {
-			tb.AddRow(r.Estimation, r.OverLimitFrac)
-		}
-		tb.Render(w)
-		fmt.Fprintln(w, "\n== probe schedule: collision avoidance vs naive per-RTT ==")
-		tb = stats.NewTable("schedule", "probe load (Gb/s)", "reclaim (us)")
-		for _, r := range exp.AblationProbe() {
-			tb.AddRow(r.Scheme, r.ProbeGbps, r.ReclaimUS)
-		}
-		tb.Render(w)
-
-	case "ext-ecn":
-		r := exp.ECNPrio()
-		fmt.Fprintln(w, "Appendix B extension: per-virtual-priority ECN thresholds, DCTCP flows in one queue")
-		fmt.Fprintf(w, "  high-vprio share %.2f, utilization %.2f\n", r.HighShare, r.Util)
-
-	case "ext-weighted":
-		r := exp.WeightedVP()
-		fmt.Fprintln(w, "§7 extension: weighted sharing within one channel, strict across channels")
-		fmt.Fprintf(w, "  weight-4 : weight-1 share ratio %.2f (ideal 4)\n", r.ShareRatio)
-		fmt.Fprintf(w, "  higher-channel flow share while active %.2f (strictness preserved)\n", r.HighStrict)
-
-	case "faultsweep":
-		cfg := exp.DefaultFaultSweepConfig()
-		cfg.Seed = o.seed
-		if sink != nil {
-			cfg.ObsFor = sink.recorder
-		}
-		rows := exp.FaultSweep(cfg, exp.Options{})
-		fmt.Fprintf(w, "mid-transfer link flap (down %v at %v), fat-tree k=%d, %d cross-pod flows\n",
-			cfg.FlapDur, cfg.FlapAt, cfg.K, cfg.K*cfg.K*cfg.K/4)
-		tb := stats.NewTable("scheme", "done", "stuck", "mean-slow", "p99-slow",
-			"retx", "rtos", "fault-drops", "no-route", "peak-q-kb", "yields")
-		stuck := 0
-		for _, r := range rows {
-			tb.AddRow(r.Scheme, fmt.Sprintf("%d/%d", r.Completed, r.Launched), r.Stuck,
-				r.MeanSlowdown, r.P99Slowdown, r.Retransmits, r.RTOs,
-				r.FaultDrops, r.NoRouteDrops, r.PeakQueueKB, r.Yields)
-			stuck += r.Stuck
-		}
-		tb.Render(w)
-		if stuck == 0 {
-			fmt.Fprintln(w, "all flows completed: every scheme recovered from the flap")
-		} else {
-			fmt.Fprintf(w, "WARNING: %d flows stuck at horizon\n", stuck)
-		}
-
-	case "tab2":
-		tb := stats.NewTable("strategy", "bytes delayed (analytic)", "max extra buffer (analytic)", "measured extra buffer (BDP)")
-		for _, r := range exp.Table2() {
-			tb.AddRow(r.Strategy, r.BytesDelayed, r.MaxExtraBuffer, r.SimExtraBDP)
-		}
-		tb.Render(w)
-
-	case "appd":
-		ns := []int{10, 40, 150}
-		if !o.full {
-			ns = []int{10, 40}
-		}
-		tb := stats.NewTable("flows", "measured fluctuation (us)", "bound (us)", "within bound")
-		for _, r := range exp.AppD(ns) {
-			tb.AddRow(r.N, r.MeasuredUS, r.BoundUS, r.WithinBound)
-		}
-		tb.Render(w)
-
-	default:
+	spec, ok := exp.Lookup(expID)
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", expID)
+	}
+	p := exp.RunParams{Seed: o.seed, Full: o.full, Series: o.series, Perturb: o.obs.perturb}
+	// A nil *obsSink must become a nil interface, not a typed nil the
+	// drivers would dereference.
+	var s exp.Sink
+	if sink != nil {
+		s = sink
+	}
+	if err := spec.Run(p, s, w); err != nil {
+		return err
 	}
 	if sink != nil {
 		return sink.flush(w)
@@ -587,49 +265,10 @@ func runExperimentWith(expID string, o runOpts, sink *obsSink, w io.Writer) erro
 	return nil
 }
 
-func printSeries(w io.Writer, enabled bool, series []exp.Series) {
-	if !enabled {
-		return
-	}
-	for _, s := range series {
-		fmt.Fprintf(w, "# %s\n", s.Label)
-		for i := range s.T {
-			fmt.Fprintf(w, "%.3f %.2f\n", s.T[i], s.V[i])
-		}
-	}
-}
-
-func printFig11(w io.Writer, rows []exp.Fig11Row) {
-	tb := stats.NewTable("scheme", "prios", "avg", "p99", "avg-small", "p99-small", "avg-mid", "p99-mid", "avg-large", "p99-large")
-	for _, r := range rows {
-		tb.AddRow(r.Scheme, r.NPrios, r.AvgAll, r.P99All, r.AvgSmall, r.P99Small, r.AvgMid, r.P99Mid, r.AvgLarge, r.P99Large)
-	}
-	fmt.Fprintln(w, "FCT slowdown (x ideal) by scheme and priority count")
-	tb.Render(w)
-}
-
-func printCoflow(w io.Writer, rows []exp.CoflowSpeedups) {
-	tb := stats.NewTable("scheme", "high-4 groups", "low-4 groups", "overall")
-	for _, r := range rows {
-		name := r.Scheme
-		if r.Watchdog != "" {
-			name += " [watchdog: " + r.Watchdog + "]"
-		}
-		tb.AddRow(name, r.High4, r.Low4, r.Overall)
-	}
-	tb.Render(w)
-	for _, r := range rows {
-		if r.Watchdog != "" {
-			fmt.Fprintf(w, "note: %s tripped the %s watchdog and was stopped early;\n"+
-				"      its speedups cover only the coflows that finished before the stop\n",
-				r.Scheme, r.Watchdog)
-		}
-	}
-}
-
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: prioplus-sim <experiment> [-full] [-seed N] [-print-series] [obs flags] [-cpuprofile f] [-memprofile f]
        prioplus-sim all [-parallel N] [-seeds a,b,c] [-only ids] [-json out.json] [-timeout d] [-full] [-fp-out f] [-fp-check f] [obs flags]
+       prioplus-sim serve [-listen ADDR] [-workers N] [-queue N] [-job-timeout d] [-cache N] [-manifest f]
        prioplus-sim report [-width N] file.jsonl|dir...
        prioplus-sim trace [-flows a,b] [-journeys K] [-width N] file.jsonl|dir...
        prioplus-sim watch [-interval d] [-once] ADDR
@@ -666,30 +305,16 @@ obs flags (network experiments only; see docs/OBSERVABILITY.md):
   -perturb D        inflate the D-th delay-noise draw by 1us — a
                     controlled divergence for exercising diff
 
-experiments:
-  fig2     switch-chip buffer/bandwidth ratios
-  fig3a-d  motivation micro-benchmarks (D2TCP, Swift variants)
-  fig7     delay-noise CDF
-  fig8     testbed ladder: PrioPlus vs multi-target Swift (10G)
-  fig9     delay containment with inflated AI steps (10G)
-  fig10a-d PrioPlus micro-benchmarks (ladder, incast, dual-RTT, noise)
-  fig11    flow scheduling FCT vs #priorities (fat-tree)
-  fig12ab  coflow CCT speedups at 40%/70% load
-  fig12c   ML training speedups (ResNet/VGG)
-  fig13    non-congestive delay tolerance
-  fig14    per-priority FCT breakdown (12 priorities)
-  fig15    tail CCT speedup
-  fig16    HPCC and PrioPlus* comparison
-  fig17    lossy fabric (IRN) coflow speedup
-  fig18    coflow speedup with HPCC / no-CC baselines
-  tab2     start-strategy comparison
-  appd     Swift fluctuation bound check
-  ablation     design-choice ablations (filter, cardinality, probe)
-  ext-ecn      Appendix B extension: per-priority ECN marking
-  ext-weighted §7 extension: weighted virtual priority
-  faultsweep   mid-transfer link flap on a fat-tree: recovery and FCT
-               tails per scheme (see docs/ARCHITECTURE.md, Fault layer)
+experiments (from the exp registry; suite order):`)
+	for _, s := range exp.Specs() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", s.ID, s.Describe)
+	}
+	fmt.Fprintln(os.Stderr, `
+subcommands:
   all          every experiment above, fanned across a worker pool
+  serve        long-running job server: POST experiment specs to /jobs,
+               poll status, fetch byte-stable results (deterministic
+               result cache; see docs/API.md)
   report       render -series artifacts as a text report
   trace        render flow-trace artifacts as causal per-flow timelines
   watch        live terminal dashboard over a -listen ADDR endpoint

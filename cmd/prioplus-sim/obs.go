@@ -6,18 +6,13 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
-	"strings"
 
+	"prioplus/internal/exp"
 	"prioplus/internal/obs"
 	"prioplus/internal/obs/stream"
 	"prioplus/internal/runner"
 	"prioplus/internal/sim"
 )
-
-// seriesInterval is the sampling period for -series timelines: fine enough
-// to resolve PFC pause episodes (tens of microseconds) while keeping a
-// 50 ms run to a few thousand samples per gauge.
-const seriesInterval = 10 * sim.Microsecond
 
 // flightSize is the flight recorder's ring capacity: the most recent trace
 // events kept for the post-mortem dump when a watchdog trips.
@@ -79,6 +74,10 @@ type obsSink struct {
 	seen map[string]int // filename stems already issued, for dedupe
 }
 
+// obsSink implements exp.Sink, so the registry's Run funcs can pull
+// recorders from it without depending on the CLI's flag types.
+var _ exp.Sink = (*obsSink)(nil)
+
 type obsRun struct {
 	tag string
 	rec *obs.Recorder
@@ -93,14 +92,15 @@ func newObsSink(opts obsOpts, exp string, seed int64) *obsSink {
 	return &obsSink{opts: opts, exp: exp, seed: seed, seen: map[string]int{}}
 }
 
-// recorder builds the recorder for one run, enabling only the instruments
-// the flags asked for. It has the factory shape the exp configs expect
-// (FlowSchedConfig.ObsFor and friends); the sink keeps every recorder it
-// hands out so flush can write them after the experiment finishes.
-func (s *obsSink) recorder(tag string) *obs.Recorder {
+// Recorder builds the recorder for one run, enabling only the instruments
+// the flags asked for. It implements exp.Sink — the factory shape the exp
+// drivers and configs expect (FlowSchedConfig.ObsFor and friends); the
+// sink keeps every recorder it hands out so flush can write them after the
+// experiment finishes.
+func (s *obsSink) Recorder(tag string) *obs.Recorder {
 	rec := obs.NewRecorder()
 	if s.opts.dir != "" || s.opts.hub != nil {
-		rec.Series = obs.NewSeriesSet(seriesInterval)
+		rec.Series = obs.NewSeriesSet(obs.DefaultSeriesInterval)
 	}
 	if s.opts.runtime && rec.Series != nil {
 		rec.Runtime = &obs.RuntimeSampler{}
@@ -151,7 +151,7 @@ func (s *obsSink) recorder(tag string) *obs.Recorder {
 
 // stem returns a unique filesystem-safe basename for one run's artifacts.
 func (s *obsSink) stem(tag string) string {
-	base := s.exp + "__" + sanitizeTag(tag) + "__seed" + strconv.FormatInt(s.seed, 10)
+	base := obs.ArtifactStem(s.exp, tag, s.seed)
 	s.seen[base]++
 	if n := s.seen[base]; n > 1 {
 		base += "-" + strconv.Itoa(n)
@@ -266,25 +266,6 @@ func dumpFlight(path string, fr *obs.FlightRecorder) (int, error) {
 		err = cerr
 	}
 	return n, err
-}
-
-// sanitizeTag maps a run tag to a filesystem-safe name: letters, digits,
-// dot, underscore, and dash pass through; everything else ('/', '*', '+',
-// spaces) becomes '-'.
-func sanitizeTag(tag string) string {
-	var b strings.Builder
-	b.Grow(len(tag))
-	for i := 0; i < len(tag); i++ {
-		c := tag[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '.', c == '_', c == '-':
-			b.WriteByte(c)
-		default:
-			b.WriteByte('-')
-		}
-	}
-	return b.String()
 }
 
 // parseBytes parses a human-readable byte count: a plain integer with an

@@ -40,8 +40,8 @@ func TestSanitizeTag(t *testing.T) {
 		"a.b_c-D9":         "a.b_c-D9",
 	}
 	for in, want := range cases {
-		if got := sanitizeTag(in); got != want {
-			t.Errorf("sanitizeTag(%q) = %q, want %q", in, got, want)
+		if got := obs.SanitizeTag(in); got != want {
+			t.Errorf("obs.SanitizeTag(%q) = %q, want %q", in, got, want)
 		}
 	}
 }
@@ -54,8 +54,8 @@ func TestObsSinkArtifactNaming(t *testing.T) {
 	if sink == nil {
 		t.Fatal("sink disabled despite -series dir")
 	}
-	sink.recorder("a/b")
-	sink.recorder("a/b") // same tag twice: must not clobber
+	sink.Recorder("a/b")
+	sink.Recorder("a/b") // same tag twice: must not clobber
 	var out bytes.Buffer
 	if err := sink.flush(&out); err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func TestObsSinkDisabled(t *testing.T) {
 func TestReportRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	sink := newObsSink(obsOpts{dir: dir, hist: true}, "figX", 1)
-	rec := sink.recorder("tag")
+	rec := sink.Recorder("tag")
 	rec.Series.Add("net/test_series", "bytes", func() float64 { return 42 })
 	for i := 0; i < 5; i++ {
 		rec.Series.Sample()
@@ -155,7 +155,7 @@ func TestReportAndTraceExitNonZeroOnBadDir(t *testing.T) {
 func TestTraceNoFlowsInArtifact(t *testing.T) {
 	dir := t.TempDir()
 	sink := newObsSink(obsOpts{dir: dir}, "figX", 1)
-	sink.recorder("tag")
+	sink.Recorder("tag")
 	if err := sink.flush(io.Discard); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestTraceNoFlowsInArtifact(t *testing.T) {
 func TestTraceRendersFlowTimeline(t *testing.T) {
 	dir := t.TempDir()
 	sink := newObsSink(obsOpts{dir: dir, traceFlows: 4}, "figX", 1)
-	rec := sink.recorder("tag")
+	rec := sink.Recorder("tag")
 	fl := rec.FlowTrace.Admit(3)
 	fl.Add(obs.Span{T: 0, Kind: obs.SpanDecStart, A: 25.8, B: 28.2})
 	fl.Add(obs.Span{T: 2_000_000, Kind: obs.SpanHop, Seq: 1500, Delay: 400_000, Dev: "star", A: 4096})
@@ -227,7 +227,7 @@ func TestResolveTraceNeedsSeries(t *testing.T) {
 	}
 	// -trace-match alone sizes the tracer cap to the match list.
 	sink := newObsSink(o, "figX", 1)
-	rec := sink.recorder("tag")
+	rec := sink.Recorder("tag")
 	if rec.FlowTrace == nil || rec.FlowTrace.MaxFlows != 2 {
 		t.Fatalf("FlowTrace cap = %+v, want MaxFlows 2", rec.FlowTrace)
 	}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"prioplus/internal/exp"
+	"prioplus/internal/serve"
+)
+
+// TestRegistryMatchesManifest: the exp registry and the committed
+// fingerprint manifest agree exactly — every registered experiment has a
+// pinned seed=1 fingerprint and every manifest entry names a registered
+// experiment. A new experiment must land with its manifest entry (run
+// `all -fp-out`), and a removed one must take its entry along.
+func TestRegistryMatchesManifest(t *testing.T) {
+	m, err := serve.LoadManifest("../../testdata/fingerprints.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range exp.IDs() {
+		name := fmt.Sprintf("%s/seed=1", id)
+		if _, ok := m.Runs[name]; !ok {
+			t.Errorf("experiment %q has no manifest entry %q", id, name)
+		}
+	}
+	for name := range m.Runs {
+		id, _, ok := strings.Cut(name, "/seed=")
+		if !ok {
+			t.Errorf("manifest run %q is not of the form <id>/seed=<n>", name)
+			continue
+		}
+		if _, ok := exp.Lookup(id); !ok {
+			t.Errorf("manifest run %q names unregistered experiment %q", name, id)
+		}
+	}
+}
+
+// TestValidExperimentUsesRegistry: the CLI's id validation is the registry
+// lookup, with a clean error for unknown ids.
+func TestValidExperimentUsesRegistry(t *testing.T) {
+	for _, id := range exp.IDs() {
+		if err := validExperiment(id); err != nil {
+			t.Errorf("validExperiment(%q) = %v", id, err)
+		}
+	}
+	err := validExperiment("fig99")
+	if err == nil || !strings.Contains(err.Error(), `unknown experiment "fig99"`) {
+		t.Errorf("validExperiment(fig99) = %v, want unknown-experiment error", err)
+	}
+}

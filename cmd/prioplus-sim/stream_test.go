@@ -148,7 +148,7 @@ func TestWatchRender(t *testing.T) {
 	m1.Sim.Events = 0
 	m1.Runtime.HeapBytes = 32 << 20
 	m1.Runtime.Goroutines = 9
-	renderWatch(&st, "http://x", m1, stream.RunsSnapshot{})
+	renderWatch(&st, "http://x", m1, stream.RunsSnapshot{}, nil)
 
 	m2 := m1
 	m2.WallUnixMS = 2000
@@ -165,7 +165,7 @@ func TestWatchRender(t *testing.T) {
 		}},
 	}
 	runs.Batch.Total, runs.Batch.Running, runs.Batch.Events = 1, 1, 1_000_000
-	frame := renderWatch(&st, "http://x", m2, runs)
+	frame := renderWatch(&st, "http://x", m2, runs, nil)
 
 	for _, want := range []string{
 		"1.00M ev/s",    // rate from the poll delta

@@ -12,13 +12,16 @@ import (
 	"flag"
 
 	"prioplus/internal/obs/stream"
+	"prioplus/internal/serve"
 )
 
 // runWatch is the `prioplus-sim watch` subcommand: a live terminal
 // dashboard over the /metrics and /runs endpoints of a simulator started
 // with -listen. It polls, computes an events/sec rate from successive
 // snapshots, and redraws; -once renders a single frame (no screen
-// clearing) for scripts and tests.
+// clearing) for scripts and tests. Against a job server (`serve`) it also
+// polls /jobs and adds a jobs/cache line; against an older server without
+// that endpoint the line is simply omitted.
 func runWatch(args []string) int {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	interval := fs.Duration("interval", time.Second, "poll and redraw period")
@@ -42,6 +45,15 @@ func runWatch(args []string) int {
 		if err == nil {
 			err = fetchJSON(addr+"/runs", &runs)
 		}
+		// /jobs only exists on a job server; a failure here (older server,
+		// batch -listen) degrades to a frame without the jobs line.
+		var jobs *serve.JobsSnapshot
+		if err == nil {
+			var js serve.JobsSnapshot
+			if jerr := fetchJSON(addr+"/jobs", &js); jerr == nil {
+				jobs = &js
+			}
+		}
 		switch {
 		case err != nil:
 			failures++
@@ -53,7 +65,7 @@ func runWatch(args []string) int {
 			}
 		default:
 			failures = 0
-			frame := renderWatch(&st, addr, m, runs)
+			frame := renderWatch(&st, addr, m, runs, jobs)
 			if *once {
 				fmt.Print(frame)
 				return 0
@@ -91,8 +103,9 @@ type watchState struct {
 const watchSparkMax = 32
 
 // renderWatch builds one dashboard frame. It is deterministic given the
-// state and the two snapshots, so tests can pin frames.
-func renderWatch(st *watchState, addr string, m stream.MetricsSnapshot, runs stream.RunsSnapshot) string {
+// state and the snapshots, so tests can pin frames. jobs is nil when the
+// server has no /jobs endpoint (pre-serve builds, batch -listen).
+func renderWatch(st *watchState, addr string, m stream.MetricsSnapshot, runs stream.RunsSnapshot, jobs *serve.JobsSnapshot) string {
 	// Events/sec over the poll window, from the per-run live counters
 	// (process totals only flush between run phases, so they lag mid-run).
 	if st.prevSet && m.WallUnixMS > st.prevWallMS && runs.Batch.Events >= st.prevEvents {
@@ -115,6 +128,13 @@ func renderWatch(st *watchState, addr string, m stream.MetricsSnapshot, runs str
 		m.Runtime.GCCycles, m.Runtime.GCPauseUS/1e3, m.Runtime.Goroutines)
 	fmt.Fprintf(&b, "stream  %d subscribers · %d lines published · %d dropped\n",
 		m.Stream.Subscribers, m.Stream.Published, m.Stream.Dropped)
+	if jobs != nil {
+		c := jobs.Counts
+		fmt.Fprintf(&b, "jobs    %d total: %d queued, %d running, %d done, %d failed, %d canceled · queue %d/%d · cache %d entries, %d hits / %d misses\n",
+			len(jobs.Jobs), c.Queued, c.Running, c.Done, c.Failed, c.Canceled,
+			jobs.Queue.Depth, jobs.Queue.Capacity,
+			jobs.Cache.Entries, jobs.Cache.Hits, jobs.Cache.Misses)
+	}
 
 	rate := 0.0
 	if len(st.rates) > 0 {

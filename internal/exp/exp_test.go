@@ -95,7 +95,7 @@ func TestFig10bIncastContained(t *testing.T) {
 
 func TestFig10cDualRTTAvoidsOverreaction(t *testing.T) {
 	t.Parallel()
-	r := Fig10c()
+	r := Fig10c(Options{})
 	if r.DualRTT.TakeoverTime == 0 {
 		t.Fatal("dual-RTT never took over the link")
 	}
@@ -107,7 +107,7 @@ func TestFig10cDualRTTAvoidsOverreaction(t *testing.T) {
 
 func TestFig10dWiderChannelToleratesMoreNoise(t *testing.T) {
 	t.Parallel()
-	pts := Fig10d([]float64{1, 6}, []float64{1, 12})
+	pts := Fig10d(Fig10dConfig{Scales: []float64{1, 6}, WidthsUS: []float64{1, 12}}, Options{})
 	util := func(scale, width float64) float64 {
 		for _, p := range pts {
 			if p.NoiseScale == scale && p.WidthUS == width {
@@ -129,7 +129,7 @@ func TestFig10dWiderChannelToleratesMoreNoise(t *testing.T) {
 
 func TestTable2StartStrategies(t *testing.T) {
 	t.Parallel()
-	rows := Table2()
+	rows := Table2(Options{})
 	var line, exp8, lin float64
 	for _, r := range rows {
 		switch r.Strategy {
@@ -168,7 +168,7 @@ func TestAppDFluctuationBound(t *testing.T) {
 
 func TestFig2Ratios(t *testing.T) {
 	t.Parallel()
-	rows := Fig2()
+	rows := Fig2(Options{})
 	// The paper's point: ratios decline across generations; Trident2 at
 	// ~9.4, Tomahawk4 at ~4.4.
 	var t2, t4 float64
@@ -193,7 +193,7 @@ func TestFig2Ratios(t *testing.T) {
 
 func TestFig7NoiseCDF(t *testing.T) {
 	t.Parallel()
-	cdf, st := Fig7(50_000)
+	cdf, st := Fig7(Fig7Config{Samples: 50_000}, Options{})
 	if len(cdf) == 0 {
 		t.Fatal("empty CDF")
 	}
@@ -204,7 +204,7 @@ func TestFig7NoiseCDF(t *testing.T) {
 
 func TestFig13ToleranceAbsorbsNCDelay(t *testing.T) {
 	t.Parallel()
-	pts := Fig13([]float64{10}, []float64{0, 6, 40})
+	pts := Fig13(Fig13Config{TolerancesUS: []float64{10}, RangesUS: []float64{0, 6, 40}}, Options{})
 	gap := func(rng float64) float64 {
 		for _, p := range pts {
 			if p.RangeUS == rng {

@@ -217,9 +217,25 @@ func rowFrom(r FlowSchedResult) Fig11Row {
 	}
 }
 
+// applyOptions folds the cross-cutting Options knobs into a sweep's base
+// config: a non-zero Seed overrides base.Seed and a non-nil fault plan
+// overrides base.Faults. A Recorder is not applied — sweeps own several
+// runs, so per-run recorders arrive through ObsFor — and Perturb does not
+// apply (the flow-scheduling noise model is seeded from the config).
+func (cfg FlowSchedConfig) applyOptions(o Options) FlowSchedConfig {
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.Faults != nil {
+		cfg.Faults = o.Faults
+	}
+	return cfg
+}
+
 // Fig11 sweeps priority counts for the schemes of Fig 11a-d: Physical
 // (max 8 queues), Physical*, and PrioPlus, all with Swift.
-func Fig11(prioCounts []int, base FlowSchedConfig) []Fig11Row {
+func Fig11(prioCounts []int, base FlowSchedConfig, o Options) []Fig11Row {
+	base = base.applyOptions(o)
 	var rows []Fig11Row
 	for _, np := range prioCounts {
 		for _, s := range []Scheme{SwiftPhysical(8), SwiftPhysicalIdeal(), PrioPlusSwift()} {
@@ -234,7 +250,8 @@ func Fig11(prioCounts []int, base FlowSchedConfig) []Fig11Row {
 
 // Fig16 compares PrioPlus, PrioPlus* (ACKs in the data queue), and HPCC in
 // the flow-scheduling scenario (Appendix A.3).
-func Fig16(nprios int, base FlowSchedConfig) []Fig11Row {
+func Fig16(nprios int, base FlowSchedConfig, o Options) []Fig11Row {
+	base = base.applyOptions(o)
 	var rows []Fig11Row
 	for _, v := range []struct {
 		s       Scheme
@@ -268,7 +285,8 @@ type Fig14Row struct {
 
 // Fig14 runs the per-priority workload mode with 12 priorities and
 // normalizes each scheme's per-band, per-class FCT by Physical*+Swift.
-func Fig14(base FlowSchedConfig, schemes []Scheme) []Fig14Row {
+func Fig14(base FlowSchedConfig, schemes []Scheme, o Options) []Fig14Row {
+	base = base.applyOptions(o)
 	const nprios = 12
 	run := func(s Scheme, ackData bool) FlowSchedResult {
 		cfg := base

@@ -464,10 +464,13 @@ type TakeoverStats struct {
 }
 
 // Fig10c runs 10 high-priority flows preempting 10 low-priority flows,
-// with dual-RTT gating on and off.
-func Fig10c() Fig10cResult {
+// with dual-RTT gating on and off. Each variant is its own engine, so a
+// caller-supplied Recorder is not attached (one recorder cannot span two
+// runs); Seed, Faults, and Perturb thread through per variant.
+func Fig10c(o Options) Fig10cResult {
+	o.Recorder = nil
 	run := func(everyRTT bool) TakeoverStats {
-		net, eng := microNet(21, 19, nil, Options{})
+		net, eng := microNet(21, 19, nil, o)
 		recv := 20
 		base := net.Topo.BaseRTT(0, recv)
 		plan := core.DefaultPlan(base)
@@ -522,19 +525,42 @@ type Fig10dPoint struct {
 	Util       float64
 }
 
+// Fig10dConfig is the sweep grid for the noise-vs-channel-width study.
+type Fig10dConfig struct {
+	// Scales multiplies the long-tail noise model's amplitude.
+	Scales []float64
+	// WidthsUS is the channel width A+B in microseconds.
+	WidthsUS []float64
+}
+
+// DefaultFig10dConfig returns the suite's sweep grid.
+func DefaultFig10dConfig() Fig10dConfig {
+	return Fig10dConfig{Scales: []float64{1, 2, 4, 8}, WidthsUS: []float64{1, 2, 4, 8, 12, 16}}
+}
+
 // Fig10d sweeps noise scale x channel width for 5 same-priority flows and
 // reports utilization; the paper shows the width needed for >98%
-// utilization grows linearly with the noise.
-func Fig10d(scales []float64, widthsUS []float64) []Fig10dPoint {
+// utilization grows linearly with the noise. Every cell is a private
+// engine, so a caller-supplied Recorder is not attached; the published
+// topology seed (21) and noise seed (29) hold unless o overrides the seed,
+// in which case the noise RNG follows at Seed+8.
+func Fig10d(fc Fig10dConfig, o Options) []Fig10dPoint {
+	seed := o.seedOr(21)
+	noiseSeed := int64(29)
+	if o.Seed != 0 {
+		noiseSeed = o.Seed + 8
+	}
 	var out []Fig10dPoint
-	for _, sc := range scales {
-		for _, w := range widthsUS {
+	for _, sc := range fc.Scales {
+		for _, w := range fc.WidthsUS {
 			eng := sim.NewEngine()
 			cfg := topo.DefaultConfig()
 			cfg.LinkDelay = 3 * sim.Microsecond
-			cfg.Seed = 21
-			nm := noise.NewLongTail(rand.New(rand.NewSource(29)), sc)
-			net := harness.New(topo.Star(eng, 7, cfg), 21, harness.WithNoise(nm.Sample))
+			cfg.Seed = seed
+			nm := noise.NewLongTail(rand.New(rand.NewSource(noiseSeed)), sc)
+			net := harness.New(topo.Star(eng, 7, cfg), seed,
+				harness.WithNoise(o.noiseFn(nm.Sample)),
+				harness.WithFaults(o.Faults))
 			recv := 6
 			base := net.Topo.BaseRTT(0, recv)
 			plan := core.ChannelPlan{
@@ -601,11 +627,38 @@ type Fig13Point struct {
 	GapPerFlow  float64 // normalized FCT gap vs Physical, averaged per flow
 }
 
+// Fig13Config is the sweep grid for the non-congestive-delay study.
+type Fig13Config struct {
+	// TolerancesUS is the channel noise budget B, in microseconds.
+	TolerancesUS []float64
+	// RangesUS is the injected non-congestive jitter range, in microseconds.
+	RangesUS []float64
+}
+
+// DefaultFig13Config returns the suite's sweep grid.
+func DefaultFig13Config() Fig13Config {
+	return Fig13Config{
+		TolerancesUS: []float64{10, 20, 30},
+		RangesUS:     []float64{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40},
+	}
+}
+
 // Fig13 evaluates PrioPlus under non-congestive delay: uniform jitter of
 // the given range is injected at the bottleneck, with the channel noise
 // budget B set to each tolerance. The gap vs an ideal-physical run of the
-// same workload stays small until the range exceeds the tolerance.
-func Fig13(tolerancesUS, rangesUS []float64) []Fig13Point {
+// same workload stays small until the range exceeds the tolerance. Each
+// cell is a private engine, so a caller-supplied Recorder is not attached;
+// the published seeds (31 topology, 37 jitter) hold unless o overrides the
+// seed, in which case the jitter RNG follows at Seed+6. Perturb does not
+// apply — this scenario injects jitter instead of the measurement-noise
+// model the perturbation hooks into.
+func Fig13(fc Fig13Config, o Options) []Fig13Point {
+	tolerancesUS, rangesUS := fc.TolerancesUS, fc.RangesUS
+	topoSeed := o.seedOr(31)
+	jitterSeed := int64(37)
+	if o.Seed != 0 {
+		jitterSeed = o.Seed + 6
+	}
 	// Workload: the Fig 8 testbed ladder (10G, four adjacent priorities,
 	// two flows each, staggered 4 ms) with finite flows. The physical
 	// baseline also runs under the non-congestive delay; its Swift target
@@ -619,13 +672,13 @@ func Fig13(tolerancesUS, rangesUS []float64) []Fig13Point {
 		cfg := topo.DefaultConfig()
 		cfg.HostRate = 10 * netsim.Gbps
 		cfg.LinkDelay = 3 * sim.Microsecond
-		cfg.Seed = 31
+		cfg.Seed = topoSeed
 		if !usePP {
 			cfg.Queues = 9
 			cfg.Buffer.HeadroomFree = true
 		}
-		net := harness.New(topo.Star(eng, 9, cfg), 31)
-		jrng := rand.New(rand.NewSource(37))
+		net := harness.New(topo.Star(eng, 9, cfg), topoSeed, harness.WithFaults(o.Faults))
+		jrng := rand.New(rand.NewSource(jitterSeed))
 		recv := 8
 		if rngUS > 0 {
 			width := sim.Time(rngUS * float64(sim.Microsecond))
@@ -717,8 +770,12 @@ type Table2Row struct {
 // Table2 reproduces the start-strategy comparison: analytic values from
 // §4.2.2 plus a simulated "extra buffer" measurement of a flow starting
 // into a 50%-utilized link (n = 8 RTTs to line rate for the ramped
-// strategies).
-func Table2() []Table2Row {
+// strategies). The published seed (41) holds unless o overrides it; the
+// scenario runs without the noise model by design (see below), so Perturb
+// does not apply, and each strategy is a private engine, so a
+// caller-supplied Recorder is not attached.
+func Table2(o Options) []Table2Row {
+	seed := o.seedOr(41)
 	simulate := func(kind string) float64 {
 		// The Table 2 analysis is an idealized start-transient argument;
 		// measurement noise would blur the freeze threshold, so this
@@ -727,8 +784,8 @@ func Table2() []Table2Row {
 		eng := sim.NewEngine()
 		cfg := topo.DefaultConfig()
 		cfg.LinkDelay = 3 * sim.Microsecond
-		cfg.Seed = 41
-		net := harness.New(topo.Star(eng, 4, cfg), 41)
+		cfg.Seed = seed
+		net := harness.New(topo.Star(eng, 4, cfg), seed, harness.WithFaults(o.Faults))
 		recv := 3
 		base := net.Topo.BaseRTT(0, recv)
 		bdp := 100e9 / 8 * base.Seconds()
@@ -915,7 +972,10 @@ type ChipRatio struct {
 
 // Fig2 returns the buffer-per-bandwidth data of representative Broadcom
 // switch chips, the paper's motivation for scarce lossless priorities.
-func Fig2() []ChipRatio {
+// The data is static; Options is accepted for the uniform driver shape
+// every registered spec shares and is otherwise unused.
+func Fig2(o Options) []ChipRatio {
+	_ = o
 	data := []ChipRatio{
 		{"Trident+", 2010, 9, 0.64, 0},
 		{"Trident2", 2013, 12, 1.28, 0},
@@ -930,11 +990,26 @@ func Fig2() []ChipRatio {
 	return data
 }
 
+// Fig7Config sizes the delay-noise measurement.
+type Fig7Config struct {
+	// Samples is the number of noise draws for the CDF and the summary
+	// statistics.
+	Samples int
+}
+
+// DefaultFig7Config returns the suite's sampling size.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{Samples: 200_000}
+}
+
 // Fig7 returns the delay-noise CDF and summary statistics of the noise
-// model, matching the paper's testbed measurement.
-func Fig7(samples int) ([][2]float64, noise.Stats) {
-	m := noise.NewLongTail(rand.New(rand.NewSource(47)), 1)
-	cdf := noise.CDF(m, samples, 40)
-	m2 := noise.NewLongTail(rand.New(rand.NewSource(47)), 1)
-	return cdf, noise.Measure(m2, samples)
+// model, matching the paper's testbed measurement. The published RNG seed
+// (47) holds unless o overrides it; Perturb does not apply (the draws are
+// the measurement itself, not simulation inputs).
+func Fig7(cfg Fig7Config, o Options) ([][2]float64, noise.Stats) {
+	seed := o.seedOr(47)
+	m := noise.NewLongTail(rand.New(rand.NewSource(seed)), 1)
+	cdf := noise.CDF(m, cfg.Samples, 40)
+	m2 := noise.NewLongTail(rand.New(rand.NewSource(seed)), 1)
+	return cdf, noise.Measure(m2, cfg.Samples)
 }

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"strconv"
+
+	"prioplus/internal/sim"
+)
+
+// DefaultSeriesInterval is the sampling period for timeline series: fine
+// enough to resolve PFC pause episodes (tens of microseconds) while
+// keeping a 50 ms run to a few thousand samples per gauge. The CLI's
+// -series artifacts and the serve layer's job artifacts both sample at
+// this period, so their bytes agree for the same run.
+const DefaultSeriesInterval = 10 * sim.Microsecond
+
+// SanitizeTag maps a run tag to a filesystem-safe name: letters, digits,
+// dot, underscore, and dash pass through; everything else ('/', '*', '+',
+// spaces) becomes '-'.
+func SanitizeTag(tag string) string {
+	out := make([]byte, len(tag))
+	for i := 0; i < len(tag); i++ {
+		c := tag[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			out[i] = c
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
+// ArtifactStem is the canonical basename for one run's artifacts:
+// "<exp>__<sanitized tag>__seed<seed>". Every producer (the CLI's -series
+// writer, batch mode, the job server) uses this shape, so stream ids on
+// /events and on-disk filenames always correspond.
+func ArtifactStem(exp, tag string, seed int64) string {
+	return exp + "__" + SanitizeTag(tag) + "__seed" + strconv.FormatInt(seed, 10)
+}

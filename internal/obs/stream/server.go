@@ -103,6 +103,16 @@ type Server struct {
 	host   func() obs.HostGauges
 	ln     net.Listener
 	srv    *http.Server
+
+	extras []extraRoute
+}
+
+// extraRoute is one caller-registered endpoint (the serve layer's /jobs
+// and /experiments), installed on the mux when Start builds it.
+type extraRoute struct {
+	pattern string
+	desc    string
+	handler http.Handler
 }
 
 // NewServer returns a server with a fresh hub.
@@ -118,6 +128,15 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// Handle registers an extra endpoint on the server's mux, with a one-line
+// description for the index page. Call before Start; routes registered
+// afterwards are ignored. The serve layer uses this to mount /jobs and
+// /experiments next to the streaming endpoints so one listener carries
+// both.
+func (s *Server) Handle(pattern, desc string, h http.Handler) {
+	s.extras = append(s.extras, extraRoute{pattern: pattern, desc: desc, handler: h})
+}
+
 // Start binds addr (e.g. ":8080", "127.0.0.1:0") and serves in the
 // background until Close.
 func (s *Server) Start(addr string) error {
@@ -131,6 +150,9 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/events", s.handleEvents)
+	for _, e := range s.extras {
+		mux.Handle(e.pattern, e.handler)
+	}
 	mux.HandleFunc("/", s.handleIndex)
 	s.srv = &http.Server{Handler: mux}
 	go func() { _ = s.srv.Serve(ln) }()
@@ -230,6 +252,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "prioplus-sim live endpoints:\n  /metrics  process gauges + cost attribution (JSON)\n  /runs     batch run state (JSON)\n  /events   artifact line stream (SSE)\n")
+	for _, e := range s.extras {
+		if e.desc != "" {
+			fmt.Fprintf(w, "  %-9s %s\n", e.pattern, e.desc)
+		}
+	}
 }
 
 // handleEvents serves the SSE stream: one event per artifact line, with

@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool is a long-lived worker pool for tasks that arrive over time — the
+// execution engine behind the serve layer's job queue, where Run's
+// all-at-once batch shape does not fit. Tasks submitted to a Pool get the
+// same semantics as batch tasks: panic isolation (a panicking task fails
+// only itself) and a per-task wall-clock timeout (a hung run is abandoned
+// and reported as timed out), both via the shared execute step. The queue
+// is bounded; TrySubmit refuses rather than blocks when it is full, which
+// is how the job server turns overload into backpressure (HTTP 429)
+// instead of unbounded memory growth.
+type Pool struct {
+	queue   chan poolItem
+	timeout time.Duration
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolItem struct {
+	task Task
+	done func(Result)
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (<= 0 means GOMAXPROCS) draining a queue of the given depth (<= 0 means
+// one slot per worker). timeout bounds each task's wall clock (0 = none).
+func NewPool(workers, depth int, timeout time.Duration) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = workers
+	}
+	p := &Pool{queue: make(chan poolItem, depth), timeout: timeout}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for it := range p.queue {
+				r := execute(it.task, 0, p.timeout)
+				if it.done != nil {
+					it.done(r)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues t without blocking and reports whether it was
+// accepted: false means the queue is full (backpressure) or the pool is
+// closed. done, when non-nil, is called on the worker goroutine with the
+// task's result once it finishes.
+func (p *Pool) TrySubmit(t Task, done func(Result)) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- poolItem{task: t, done: done}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops intake, drains already-queued tasks, and waits for the
+// workers to finish. Tasks abandoned by a timeout may still be running on
+// their own goroutines when Close returns — the same contract batch mode
+// has (the process exit reaps them).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+
+	"prioplus/internal/obs"
+	"prioplus/internal/obs/stream"
+	"prioplus/internal/runner"
+	"prioplus/internal/sim"
+)
+
+// jobSink is the serve-side exp.Sink: it hands recorders to the experiment
+// being computed and captures their products for the job result. Every
+// recorder arms the event digest, so the job's output carries the same
+// "# fingerprint" lines the CLI prints with -fingerprint — that is what
+// makes server output byte-identical to the CLI and lets the scheduler
+// cross-check the manifest. When the spec asked for an artifact the series
+// instrument is armed too, lines tee to the hub live, and the captured
+// bytes ride back in the result. One jobSink belongs to one compute call;
+// no locking needed.
+type jobSink struct {
+	exp      string
+	seed     int64
+	artifact bool
+	hub      *stream.Hub
+	live     *runner.RunState
+
+	runs []jobRun
+	seen map[string]int // issued stems, for dedupe
+}
+
+type jobRun struct {
+	tag string
+	rec *obs.Recorder
+}
+
+// Recorder implements exp.Sink.
+func (s *jobSink) Recorder(tag string) *obs.Recorder {
+	rec := obs.NewRecorder()
+	rec.Digest = sim.NewDigest()
+	if s.artifact {
+		rec.Series = obs.NewSeriesSet(obs.DefaultSeriesInterval)
+	}
+	if s.live != nil {
+		rec.Live = &s.live.Live
+		s.live.SetPhase(tag)
+	}
+	s.runs = append(s.runs, jobRun{tag: tag, rec: rec})
+	return rec
+}
+
+// stem returns a unique artifact basename for one run, matching the CLI's
+// naming (obs.ArtifactStem plus a numeric suffix on collision).
+func (s *jobSink) stem(tag string) string {
+	if s.seen == nil {
+		s.seen = map[string]int{}
+	}
+	base := obs.ArtifactStem(s.exp, tag, s.seed)
+	s.seen[base]++
+	if n := s.seen[base]; n > 1 {
+		base += "-" + strconv.Itoa(n)
+	}
+	return base
+}
+
+// flush finalizes the sink after the experiment returns: per run, write
+// the artifact (captured for the result and teed to the hub for /events
+// subscribers) and print the fingerprint line to w. The per-run
+// artifact-then-fingerprint order matches the CLI sink, keeping output
+// bytes identical.
+func (s *jobSink) flush(w io.Writer) ([]Artifact, error) {
+	var arts []Artifact
+	for _, r := range s.runs {
+		if s.artifact && r.rec.Series != nil {
+			stem := s.stem(r.tag)
+			var buf bytes.Buffer
+			var ws []io.Writer
+			ws = append(ws, &buf)
+			var lw *stream.LineWriter
+			if s.hub != nil {
+				lw = s.hub.ArtifactWriter(stem)
+				ws = append(ws, lw)
+			}
+			err := obs.WriteArtifact(io.MultiWriter(ws...), r.tag, r.rec)
+			if lw != nil {
+				lw.Close()
+			}
+			if err != nil {
+				return nil, err
+			}
+			arts = append(arts, Artifact{Stem: stem, Lines: buf.String()})
+		}
+		if d := r.rec.Digest; d != nil {
+			fmt.Fprintf(w, "# fingerprint %s chain=%016x events=%d\n", r.tag, d.Chain, d.Count)
+		}
+	}
+	return arts, nil
+}
